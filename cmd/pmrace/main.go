@@ -1,0 +1,113 @@
+// Command pmrace fuzzes one of the bundled concurrent PM systems (or any
+// registered target) with PM-aware coverage-guided fuzzing and prints the
+// detected bugs, inconsistency statistics and detailed reports.
+//
+// Usage:
+//
+//	pmrace -target pclht -execs 120 -workers 4
+//	pmrace -list
+//	pmrace -target memcached -mode delay -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	pmrace "github.com/pmrace-go/pmrace"
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/site"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list registered targets and exit")
+		target   = flag.String("target", "pclht", "target system to fuzz")
+		execs    = flag.Int("execs", 120, "execution budget")
+		duration = flag.Duration("duration", 2*time.Minute, "wall-clock budget")
+		workers  = flag.Int("workers", 4, "concurrent fuzzing workers")
+		threads  = flag.Int("threads", 4, "driver threads per execution")
+		seed     = flag.Int64("seed", 1, "random seed")
+		mode     = flag.String("mode", "pmrace", "exploration: pmrace | delay | none")
+		noCP     = flag.Bool("no-checkpoints", false, "disable in-memory pool checkpoints")
+		eadr     = flag.Bool("eadr", false, "model battery-backed caches (stores durable at visibility)")
+		corpus   = flag.String("corpus", "", "seed-corpus directory (loaded at start, improving seeds saved back)")
+		replay   = flag.String("replay", "", "replay one saved .seed file against the target and exit")
+		verbose  = flag.Bool("v", false, "print full per-inconsistency reports")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("registered targets:")
+		for _, n := range pmrace.Targets() {
+			fmt.Println("  " + n)
+		}
+		return
+	}
+
+	if *replay != "" {
+		if err := replaySeed(*target, *replay, *threads); err != nil {
+			fmt.Fprintf(os.Stderr, "pmrace: replay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := pmrace.Options{
+		MaxExecs:      *execs,
+		Duration:      *duration,
+		Workers:       *workers,
+		Threads:       *threads,
+		Seed:          *seed,
+		NoCheckpoints: *noCP,
+		EADR:          *eadr,
+		CorpusDir:     *corpus,
+	}
+	switch strings.ToLower(*mode) {
+	case "pmrace":
+		opts.Mode = pmrace.ModePMAware
+	case "delay":
+		opts.Mode = pmrace.ModeDelayInj
+	case "none":
+		opts.Mode = pmrace.ModeNone
+	default:
+		fmt.Fprintf(os.Stderr, "pmrace: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	fmt.Printf("fuzzing %s (%s exploration, %d workers, budget %d execs / %s)\n",
+		*target, opts.Mode, opts.Workers, opts.MaxExecs, *duration)
+	res, err := pmrace.Fuzz(*target, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n%d executions over %d seeds in %s (%.1f exec/s)\n",
+		res.Execs, res.Seeds, res.Elapsed.Round(time.Millisecond), res.ExecsPerSec)
+	fmt.Printf("coverage: %d branch bits, %d PM alias pair bits\n", res.BranchCov, res.AliasCov)
+	c := res.Counts
+	fmt.Printf("candidates: %d inter, %d intra\n", c.InterCandidates, c.IntraCandidates)
+	fmt.Printf("inconsistencies: %d inter (%d validated FP, %d whitelisted FP), %d intra, %d sync (%d FP)\n",
+		c.Inter, c.InterValidated, c.InterWhitelist, c.Intra, c.Sync, c.SyncValidated)
+
+	fmt.Printf("\nunique bugs (%d):\n", len(res.Bugs))
+	for _, b := range res.Bugs {
+		fmt.Printf("  [%s] %s — %s\n", b.Kind, site.Lookup(b.GroupSite), b.Summary)
+	}
+	for _, o := range res.DB.Others() {
+		fmt.Printf("  [Other] %s — %s: %s\n", site.Lookup(o.Site), o.Kind, o.Description)
+	}
+
+	if *verbose {
+		fmt.Println("\ndetailed reports:")
+		for _, j := range res.DB.Inconsistencies() {
+			fmt.Println(core.FormatInconsistency(j))
+		}
+		for _, j := range res.DB.Syncs() {
+			fmt.Println(core.FormatSync(j))
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/fuzz"
+	"github.com/pmrace-go/pmrace/internal/sched"
+	"github.com/pmrace-go/pmrace/internal/site"
+	"github.com/pmrace-go/pmrace/internal/targets"
+	"github.com/pmrace-go/pmrace/internal/workload"
+)
+
+// replaySeed re-executes one saved seed against a target, first plainly and
+// then once per PM-aware sync-point entry, printing every inconsistency the
+// checkers report. It is the triage counterpart of the fuzzer: bug reports
+// carry the seed that found them (paper §4.1 step 6), and replay turns a
+// seed back into the detection.
+func replaySeed(targetName, path string, threads int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading seed: %w", err)
+	}
+	seed := workload.Decode(string(data), threads)
+	if len(seed.Ops) == 0 {
+		return fmt.Errorf("seed %s contains no operations", path)
+	}
+	factory := func() targets.Target {
+		t, err := targets.New(targetName)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+	if _, err := targets.New(targetName); err != nil {
+		return err
+	}
+	x := fuzz.NewExecutor(factory, fuzz.ExecOptions{
+		CollectStats:   true,
+		UseCheckpoints: true,
+		HangTimeout:    150 * time.Millisecond,
+	})
+
+	fmt.Printf("replaying %s (%d ops, %d threads) against %s\n", path, len(seed.Ops), threads, targetName)
+	base, err := x.Run(seed, sched.None{})
+	if err != nil {
+		return err
+	}
+	reportExec("plain execution", base)
+
+	queue := sched.BuildQueue(base.Stats)
+	fmt.Printf("exploring %d sync-point entries\n", queue.Len())
+	for i := 0; ; i++ {
+		entry := queue.Pop()
+		if entry == nil {
+			break
+		}
+		pm := sched.NewPMAware(sched.DefaultConfig(), entry, 0)
+		res, err := x.Run(seed, pm)
+		if err != nil {
+			return err
+		}
+		if len(res.Inconsistencies) > 0 || len(res.Hangs) > 0 {
+			reportExec(fmt.Sprintf("entry %d (PM offset %#x)", i, entry.Addr), res)
+		}
+	}
+	return nil
+}
+
+func reportExec(label string, res *fuzz.ExecResult) {
+	if len(res.Inconsistencies) == 0 && len(res.Hangs) == 0 {
+		fmt.Printf("%s: no findings (%d candidates)\n", label, len(res.Candidates))
+		return
+	}
+	fmt.Printf("%s:\n", label)
+	for _, c := range res.Inconsistencies {
+		in := c.In
+		fmt.Printf("  [%s/%s] write %s -> read %s -> side effect %s\n",
+			in.Kind, in.Flow,
+			site.Lookup(site.ID(in.Event.WriteSite)), site.Lookup(site.ID(in.Event.ReadSite)),
+			site.Lookup(in.StoreSite))
+	}
+	for _, s := range res.Syncs {
+		fmt.Printf("  [Sync] %q updated at %s\n", s.Si.Var.Name, site.Lookup(s.Si.Site))
+	}
+	for _, h := range res.Hangs {
+		fmt.Printf("  [hang] thread %d at %s\n", h.Thread, h.Site)
+	}
+}

@@ -1,0 +1,126 @@
+// The quickstart example shows the full PMRace workflow on a custom PM data
+// structure: implement the Target interface against the instrumentation
+// runtime, register it, fuzz it, and read the bug reports.
+//
+// The structure is a persistent counter with an append-only audit log. It
+// contains a classic PM Inter-thread Inconsistency: Incr writes the new
+// counter value with a regular store and appends a log record derived from
+// it with a non-temporal (immediately durable) store — but the counter
+// itself is flushed only afterwards. If another thread reads the unflushed
+// counter and logs a record based on it, a crash in the window leaves a log
+// entry acknowledging a count that PM never had.
+//
+// Run it:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pmrace "github.com/pmrace-go/pmrace"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/site"
+	"github.com/pmrace-go/pmrace/internal/taint"
+	"github.com/pmrace-go/pmrace/internal/workload"
+)
+
+// Pool layout.
+const (
+	offCounter = 0   // the persistent counter (own cache line)
+	offLogLen  = 64  // number of log records
+	offLog     = 128 // log records, 8 bytes each
+)
+
+// AuditCounter is the custom PM structure under test.
+type AuditCounter struct{}
+
+// Name implements pmrace.Target.
+func (c *AuditCounter) Name() string { return "audit-counter" }
+
+// PoolSize implements pmrace.Target.
+func (c *AuditCounter) PoolSize() uint64 { return 64 << 10 }
+
+// Annotations implements pmrace.Target.
+func (c *AuditCounter) Annotations() int { return 0 }
+
+// Setup implements pmrace.Target.
+func (c *AuditCounter) Setup(t *rt.Thread) error {
+	t.NTStore64(offCounter, 0, taint.None, taint.None)
+	t.NTStore64(offLogLen, 0, taint.None, taint.None)
+	t.Fence()
+	return nil
+}
+
+// Exec implements pmrace.Target: every mutating operation increments the
+// counter and audit-logs the value it observed.
+func (c *AuditCounter) Exec(t *rt.Thread, op workload.Op) error {
+	if !op.Kind.Mutates() {
+		// Reads just observe the counter.
+		t.Load64(offCounter)
+		return nil
+	}
+	// Read the counter — possibly another thread's unflushed increment:
+	// the taint label carries that dependency forward.
+	v, lab := t.Load64(offCounter)
+	// Store the incremented value; the flush comes only after the log
+	// append (the bug window another thread's read lands in).
+	t.Store64(offCounter, v+1, lab, taint.None)
+
+	// Durable side effect based on the (possibly non-persisted) counter:
+	// append an audit record with a non-temporal store.
+	n, nlab := t.Load64(offLogLen)
+	if offLog+(n+1)*8 > c.PoolSize() {
+		return nil // log full
+	}
+	t.NTStore64(offLog+n*8, v+1, lab, nlab)
+	t.NTStore64(offLogLen, n+1, nlab, taint.None)
+
+	// Only now is the counter itself persisted.
+	t.Persist(offCounter, 8)
+	return nil
+}
+
+// Recover implements pmrace.Target: nothing repairs the audit log, so the
+// inconsistency survives validation and is reported as a bug.
+func (c *AuditCounter) Recover(t *rt.Thread) error {
+	t.Load64(offCounter)
+	t.Load64(offLogLen)
+	return nil
+}
+
+func main() {
+	pmrace.RegisterTarget("audit-counter", func() pmrace.Target { return &AuditCounter{} })
+
+	res, err := pmrace.Fuzz("audit-counter", pmrace.Options{
+		MaxExecs: 60,
+		Threads:  4,
+		KeySpace: 4, // hot keys: every op hits the same counter anyway
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %d executions, coverage: %d branch / %d alias bits\n",
+		res.Execs, res.BranchCov, res.AliasCov)
+	fmt.Printf("candidates: %d inter-thread, %d intra-thread\n",
+		res.Counts.InterCandidates, res.Counts.IntraCandidates)
+
+	if len(res.Bugs) == 0 {
+		log.Fatal("expected PMRace to find the audit-log inconsistency")
+	}
+	fmt.Printf("\nPMRace found %d unique bug(s):\n", len(res.Bugs))
+	for _, b := range res.Bugs {
+		fmt.Printf("  [%s] grouped at %s\n      %s\n", b.Kind, site.Lookup(b.GroupSite), b.Summary)
+	}
+
+	fmt.Println("\nfirst detailed report:")
+	for _, j := range res.DB.Inconsistencies() {
+		if j.Status == pmrace.StatusBug {
+			fmt.Println(pmrace.FormatInconsistency(j))
+			break
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/pmrace-go/pmrace
+
+go 1.22

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/site"
+)
+
+// This file implements the two additional checkers the paper sketches as
+// examples of the framework's extensibility (§4.3): a checker for
+// unnecessary persistency operations (flushing data that is already clean)
+// and a checker for PM writes that are still unflushed when the execution
+// ends (missing-flush candidates — the pattern PMDebugger reported Bugs
+// 11-14 of memcached-pmem as, before PMRace showed their concurrent
+// consequences).
+
+// RedundantFlush records a flush site observed flushing only clean data.
+type RedundantFlush struct {
+	Site  site.ID
+	Addr  pmem.Addr
+	Count int
+}
+
+// OnFlush feeds the unnecessary-persistency checker: the runtime reports
+// whether any word covered by the flush was dirty. A flush whose words were
+// all clean is recorded as redundant (a performance bug: wasted CLWB).
+func (d *Detector) OnFlush(s site.ID, addr pmem.Addr, anyDirty bool) {
+	if anyDirty {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r, ok := d.redFlush[uint32(s)]; ok {
+		r.Count++
+		return
+	}
+	if d.redFlush == nil {
+		d.redFlush = make(map[uint32]*RedundantFlush)
+	}
+	d.redFlush[uint32(s)] = &RedundantFlush{Site: s, Addr: addr, Count: 1}
+	d.redFlushOrd = append(d.redFlushOrd, uint32(s))
+}
+
+// RedundantFlushes returns the recorded redundant-flush sites in detection
+// order.
+func (d *Detector) RedundantFlushes() []*RedundantFlush {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*RedundantFlush, 0, len(d.redFlushOrd))
+	for _, k := range d.redFlushOrd {
+		out = append(out, d.redFlush[k])
+	}
+	return out
+}
+
+// UnflushedWrite summarizes PM writes from one store site that were still
+// non-persisted when the execution finished: missing-flush candidates.
+type UnflushedWrite struct {
+	Site   site.ID
+	Writer pmem.ThreadID
+	// Words is how many words from this site remained dirty.
+	Words int
+	// FirstAddr is the lowest dirty address, for the report.
+	FirstAddr pmem.Addr
+}
+
+// UnflushedScanner walks a pool's persistency state at the end of an
+// execution and groups still-dirty words by their writing store site. It is
+// a sequential crash-consistency checker living on PMRace's framework: data
+// that no code path ever flushes would be lost by a crash at any time.
+func UnflushedScanner(pool *pmem.Pool) []*UnflushedWrite {
+	bySite := map[uint32]*UnflushedWrite{}
+	var order []uint32
+	for addr := pmem.Addr(0); addr < pool.Size(); addr += pmem.WordSize {
+		m := pool.WordState(addr)
+		if !m.Dirty {
+			continue
+		}
+		u, ok := bySite[m.Site]
+		if !ok {
+			u = &UnflushedWrite{Site: site.ID(m.Site), Writer: m.Writer, FirstAddr: addr}
+			bySite[m.Site] = u
+			order = append(order, m.Site)
+		}
+		u.Words++
+	}
+	out := make([]*UnflushedWrite, 0, len(order))
+	for _, s := range order {
+		out = append(out, bySite[s])
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+// Package cover implements the two coverage metrics PMRace feeds back into
+// fuzzing (paper §4.2.1): conventional branch (edge) coverage and the novel
+// PM alias pair coverage. A PM alias pair is two back-to-back PM accesses to
+// the same address by different threads, identified by the instruction site
+// and persistency state of each access. Both metrics are kept in fixed-size
+// bitmaps, mirroring AFL-style shared-memory coverage maps.
+package cover
+
+import "sync"
+
+// MapSize is the number of bits in each coverage bitmap.
+const MapSize = 1 << 16
+
+// Bitmap is a fixed-size coverage bitmap safe for concurrent use.
+type Bitmap struct {
+	mu   sync.Mutex
+	bits [MapSize / 8]byte
+	n    int
+}
+
+// NewBitmap creates an empty bitmap.
+func NewBitmap() *Bitmap { return &Bitmap{} }
+
+// Set marks the bit selected by hash and reports whether it was previously
+// unset.
+func (b *Bitmap) Set(hash uint64) bool {
+	idx := hash % MapSize
+	byteIdx, mask := idx/8, byte(1)<<(idx%8)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.bits[byteIdx]&mask != 0 {
+		return false
+	}
+	b.bits[byteIdx] |= mask
+	b.n++
+	return true
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Merge ORs other into b and returns how many bits were newly set in b.
+func (b *Bitmap) Merge(other *Bitmap) int {
+	other.mu.Lock()
+	src := other.bits
+	other.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	newBits := 0
+	for i := range src {
+		diff := src[i] &^ b.bits[i]
+		if diff == 0 {
+			continue
+		}
+		b.bits[i] |= diff
+		for ; diff != 0; diff &= diff - 1 {
+			newBits++
+		}
+	}
+	b.n += newBits
+	return newBits
+}
+
+// Reset clears the bitmap.
+func (b *Bitmap) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bits = [MapSize / 8]byte{}
+	b.n = 0
+}
+
+// Coverage bundles the two PMRace feedback metrics.
+type Coverage struct {
+	// Branch is conventional edge coverage over instrumented branch
+	// points.
+	Branch *Bitmap
+	// Alias is PM alias pair coverage over cross-thread access pairs.
+	Alias *Bitmap
+}
+
+// New creates empty coverage maps.
+func New() *Coverage {
+	return &Coverage{Branch: NewBitmap(), Alias: NewBitmap()}
+}
+
+// Merge ORs other into c and returns the total number of newly set bits
+// across both maps.
+func (c *Coverage) Merge(other *Coverage) int {
+	return c.Branch.Merge(other.Branch) + c.Alias.Merge(other.Alias)
+}
+
+// Counts returns the set-bit counts of the branch and alias maps.
+func (c *Coverage) Counts() (branch, alias int) {
+	return c.Branch.Count(), c.Alias.Count()
+}
+
+// Reset clears both maps.
+func (c *Coverage) Reset() {
+	c.Branch.Reset()
+	c.Alias.Reset()
+}
+
+// EdgeHash hashes a control-flow edge between two branch sites, AFL-style:
+// the previous location is shifted so that A->B and B->A map to different
+// bits.
+func EdgeHash(prev, cur uint32) uint64 {
+	return mix(uint64(prev)<<17 ^ uint64(cur))
+}
+
+// AliasHash hashes a PM alias pair: two back-to-back accesses to the same
+// address by different threads. Each access contributes its instruction site
+// and persistency state (paper: the (I, P, T) triple). Concrete thread IDs
+// are deliberately excluded from the hash — the T components only impose the
+// cross-thread constraint Tx != Ty, and hashing raw IDs would make coverage
+// depend on arbitrary thread numbering across campaigns.
+func AliasHash(prevSite uint32, prevDirty bool, curSite uint32, curDirty bool) uint64 {
+	h := uint64(prevSite)<<33 ^ uint64(curSite)<<2
+	if prevDirty {
+		h ^= 1 << 1
+	}
+	if curDirty {
+		h ^= 1
+	}
+	return mix(h)
+}
+
+// mix is a 64-bit finalizer (splitmix64) spreading input bits across the map.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

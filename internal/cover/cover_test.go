@@ -1,0 +1,176 @@
+package cover
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetReportsNew(t *testing.T) {
+	b := NewBitmap()
+	if !b.Set(42) {
+		t.Fatalf("first Set must report new")
+	}
+	if b.Set(42) {
+		t.Fatalf("second Set of same hash must not report new")
+	}
+	if b.Count() != 1 {
+		t.Fatalf("count = %d, want 1", b.Count())
+	}
+}
+
+func TestSetWrapsModuloMapSize(t *testing.T) {
+	b := NewBitmap()
+	b.Set(7)
+	if b.Set(7 + MapSize) {
+		t.Fatalf("hashes equal mod MapSize must collide")
+	}
+}
+
+func TestMergeCountsNewBits(t *testing.T) {
+	a, b := NewBitmap(), NewBitmap()
+	a.Set(1)
+	a.Set(2)
+	b.Set(2)
+	b.Set(3)
+	newBits := a.Merge(b)
+	if newBits != 1 {
+		t.Fatalf("merge newBits = %d, want 1", newBits)
+	}
+	if a.Count() != 3 {
+		t.Fatalf("count after merge = %d, want 3", a.Count())
+	}
+	if n := a.Merge(b); n != 0 {
+		t.Fatalf("second merge must add nothing, got %d", n)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := NewBitmap()
+	b.Set(5)
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatalf("count after reset = %d", b.Count())
+	}
+	if !b.Set(5) {
+		t.Fatalf("bit must be new again after reset")
+	}
+}
+
+func TestCoverageMergeAndCounts(t *testing.T) {
+	c1, c2 := New(), New()
+	c2.Branch.Set(1)
+	c2.Alias.Set(2)
+	if n := c1.Merge(c2); n != 2 {
+		t.Fatalf("coverage merge = %d, want 2", n)
+	}
+	br, al := c1.Counts()
+	if br != 1 || al != 1 {
+		t.Fatalf("counts = %d %d, want 1 1", br, al)
+	}
+	c1.Reset()
+	br, al = c1.Counts()
+	if br != 0 || al != 0 {
+		t.Fatalf("counts after reset = %d %d", br, al)
+	}
+}
+
+func TestEdgeHashDirectional(t *testing.T) {
+	if EdgeHash(1, 2) == EdgeHash(2, 1) {
+		t.Fatalf("edge hash must distinguish direction")
+	}
+}
+
+func TestAliasHashDistinguishesPersistencyState(t *testing.T) {
+	h1 := AliasHash(10, true, 20, false)
+	h2 := AliasHash(10, false, 20, false)
+	h3 := AliasHash(10, true, 20, true)
+	if h1 == h2 || h1 == h3 || h2 == h3 {
+		t.Fatalf("alias hashes must depend on persistency states: %d %d %d", h1, h2, h3)
+	}
+}
+
+func TestAliasHashDistinguishesSites(t *testing.T) {
+	if AliasHash(1, false, 2, false) == AliasHash(3, false, 2, false) {
+		t.Fatalf("alias hash must depend on the first site")
+	}
+	if AliasHash(1, false, 2, false) == AliasHash(1, false, 4, false) {
+		t.Fatalf("alias hash must depend on the second site")
+	}
+}
+
+func TestConcurrentSet(t *testing.T) {
+	b := NewBitmap()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b.Set(uint64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Count() != 1000 {
+		t.Fatalf("concurrent count = %d, want 1000", b.Count())
+	}
+}
+
+// Property: merge is monotone (counts never decrease) and idempotent.
+func TestMergeMonotoneIdempotentProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := NewBitmap(), NewBitmap()
+		for _, x := range xs {
+			a.Set(uint64(x))
+		}
+		for _, y := range ys {
+			b.Set(uint64(y))
+		}
+		before := a.Count()
+		a.Merge(b)
+		mid := a.Count()
+		a.Merge(b)
+		return mid >= before && a.Count() == mid && mid <= before+b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of set bits equals the number of distinct hashes mod
+// MapSize.
+func TestCountMatchesDistinctProperty(t *testing.T) {
+	f := func(xs []uint16) bool {
+		b := NewBitmap()
+		distinct := map[uint64]bool{}
+		for _, x := range xs {
+			h := uint64(x)
+			b.Set(h)
+			distinct[h%MapSize] = true
+		}
+		return b.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	bm := NewBitmap()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bm.Set(uint64(i))
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	x, y := NewBitmap(), NewBitmap()
+	for i := 0; i < 1000; i++ {
+		y.Set(uint64(i * 7))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Merge(y)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The CSV writers export the figure series in plottable form, one file per
+// figure, mirroring the data behind the paper's plots.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// Figure8CSV writes one row per detection event: system, scheme, elapsed
+// seconds (the scatter points of the paper's Figure 8).
+func Figure8CSV(dir string, series []Figure8Series) error {
+	var rows [][]string
+	for _, s := range series {
+		for _, t := range s.Times {
+			rows = append(rows, []string{s.System, s.Scheme, fmt.Sprintf("%.6f", t.Seconds())})
+		}
+	}
+	return writeCSV(dir, "figure8.csv", []string{"system", "scheme", "seconds"}, rows)
+}
+
+// Figure9CSV writes the coverage timeline of each variant (the curves of the
+// paper's Figure 9).
+func Figure9CSV(dir string, series []Figure9Series) error {
+	var rows [][]string
+	for _, s := range series {
+		for _, p := range s.Timeline {
+			rows = append(rows, []string{
+				s.Variant,
+				fmt.Sprintf("%.6f", p.T.Seconds()),
+				fmt.Sprintf("%d", p.Branch),
+				fmt.Sprintf("%d", p.Alias),
+			})
+		}
+	}
+	return writeCSV(dir, "figure9.csv", []string{"variant", "seconds", "branch", "alias"}, rows)
+}
+
+// Figure10CSV writes the throughput rows (the bars of the paper's
+// Figure 10).
+func Figure10CSV(dir string, rows10 []Figure10Row) error {
+	var rows [][]string
+	for _, r := range rows10 {
+		rows = append(rows, []string{
+			r.System, r.Generator,
+			fmt.Sprintf("%.2f", r.WithCP),
+			fmt.Sprintf("%.2f", r.WithoutCP),
+			fmt.Sprintf("%.3f", r.Speedup()),
+		})
+	}
+	return writeCSV(dir, "figure10.csv", []string{"system", "generator", "with_cp", "without_cp", "speedup"}, rows)
+}

@@ -1,0 +1,420 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) against the Go reproduction:
+//
+//	Table 2 / Table 5 — unique bugs per system and type
+//	Table 3 / Table 6 — inconsistencies, false positives, annotations
+//	Table 4           — memcached command coverage, AFL++ vs PMRace mutator
+//	Figure 8          — time to find PM Inter-thread Inconsistencies,
+//	                    PMRace vs random delay injection
+//	Figure 9          — runtime-coverage with and without the interleaving
+//	                    and seed exploration tiers (P-CLHT)
+//	Figure 10         — fuzzing speed with and without in-memory checkpoints
+//
+// Absolute numbers differ from the paper (the substrate is a simulator, not
+// a 26-core Optane server); the comparisons the paper draws — who wins,
+// which systems produce false positives, where checkpoints help — are the
+// reproduction targets. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/fuzz"
+	"github.com/pmrace-go/pmrace/internal/site"
+	"github.com/pmrace-go/pmrace/internal/targets"
+
+	// Register all evaluated systems.
+	_ "github.com/pmrace-go/pmrace/internal/targets/cceh"
+	_ "github.com/pmrace-go/pmrace/internal/targets/clevel"
+	_ "github.com/pmrace-go/pmrace/internal/targets/fastfair"
+	_ "github.com/pmrace-go/pmrace/internal/targets/memcached"
+	_ "github.com/pmrace-go/pmrace/internal/targets/pclht"
+)
+
+// Systems lists the evaluated targets in the paper's presentation order.
+func Systems() []string {
+	return []string{"pclht", "clevel", "cceh", "fastfair", "memcached"}
+}
+
+// displayNames maps registry names to the paper's system names.
+var displayNames = map[string]string{
+	"pclht":     "P-CLHT",
+	"clevel":    "clevel hashing",
+	"cceh":      "CCEH",
+	"fastfair":  "FAST-FAIR",
+	"memcached": "memcached-pmem",
+}
+
+// Config scales the experiment budgets.
+type Config struct {
+	// ExecsPerTarget is the fuzzing budget (executions) per system.
+	ExecsPerTarget int
+	// Duration caps each fuzzing run's wall clock.
+	Duration time.Duration
+	// Workers is the number of concurrent fuzzing workers.
+	Workers int
+	// Seed seeds all randomness.
+	Seed int64
+}
+
+// Quick returns a configuration small enough for CI tests.
+func Quick() Config {
+	return Config{ExecsPerTarget: 24, Duration: 60 * time.Second, Workers: 2, Seed: 1}
+}
+
+// Full returns the configuration used to produce EXPERIMENTS.md. Two
+// fuzzing workers keep goroutine counts sane on small machines — worker
+// processes only pay off with real cores (the paper uses 13 on 52 threads).
+func Full() Config {
+	return Config{ExecsPerTarget: 240, Duration: 10 * time.Minute, Workers: 2, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.ExecsPerTarget <= 0 {
+		c.ExecsPerTarget = 60
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Minute
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// whitelister is the optional interface targets implement to contribute
+// benign patterns (FAST-FAIR's lazy repair, memcached's checksums).
+type whitelister interface{ Whitelist() []string }
+
+// extraWhitelist returns the target-specific whitelist entries.
+func extraWhitelist(name string) []string {
+	tgt, err := targets.New(name)
+	if err != nil {
+		return nil
+	}
+	if w, ok := tgt.(whitelister); ok {
+		return w.Whitelist()
+	}
+	return nil
+}
+
+// FuzzTarget runs one fuzzing campaign batch against a system.
+func FuzzTarget(name string, cfg Config, mode fuzz.ExploreMode, mutate func(*fuzz.Options)) (*fuzz.Result, error) {
+	cfg = cfg.withDefaults()
+	opts := fuzz.Options{
+		Mode:           mode,
+		MaxExecs:       cfg.ExecsPerTarget,
+		Duration:       cfg.Duration,
+		Workers:        cfg.Workers,
+		Seed:           cfg.Seed,
+		ExtraWhitelist: extraWhitelist(name),
+		// More sync-point entries per seed than the engine default: the
+		// split/resize windows of the tree targets sit behind cooler
+		// addresses.
+		MaxInterleavingsPerSeed: 12,
+		// Generous hang bound: on few cores, many concurrently stalled
+		// campaigns can starve a legitimate lock holder.
+		HangTimeout: 150 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	fz, err := fuzz.New(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return fz.Run()
+}
+
+// --- Tables 2, 3, 5 and 6 ---
+
+// BugDetection is the shared result of the bug-detection campaigns, from
+// which Tables 2, 3, 5 and 6 are all derived.
+type BugDetection struct {
+	Config  Config
+	Results map[string]*fuzz.Result
+}
+
+// RunBugDetection fuzzes every system with the PM-aware exploration.
+func RunBugDetection(cfg Config) (*BugDetection, error) {
+	cfg = cfg.withDefaults()
+	bd := &BugDetection{Config: cfg, Results: make(map[string]*fuzz.Result)}
+	for _, name := range Systems() {
+		res, err := FuzzTarget(name, cfg, fuzz.ModePMAware, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fuzzing %s: %w", name, err)
+		}
+		bd.Results[name] = res
+	}
+	return bd, nil
+}
+
+// Table2 renders the per-bug listing (paper Table 2): every unique bug with
+// its type, grouping site and description, plus the "Other" findings.
+func (bd *BugDetection) Table2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: unique bugs found by PMRace\n")
+	b.WriteString(fmt.Sprintf("%-16s %-6s %-10s %-24s %s\n", "System", "#", "Type", "Site", "Description"))
+	n := 0
+	for _, name := range Systems() {
+		res := bd.Results[name]
+		for _, bug := range res.Bugs {
+			n++
+			loc := site.Lookup(bug.GroupSite).String()
+			desc := bug.Summary
+			if bug.Kind == core.KindSync {
+				desc = fmt.Sprintf("persistent %q not re-initialized after restart (hang)", bug.VarName)
+			}
+			b.WriteString(fmt.Sprintf("%-16s %-6d %-10s %-24s %s\n", displayNames[name], n, bug.Kind, loc, desc))
+		}
+		for _, other := range res.DB.Others() {
+			n++
+			b.WriteString(fmt.Sprintf("%-16s %-6d %-10s %-24s %s\n", displayNames[name], n, "Other",
+				site.Lookup(other.Site).String(), other.Kind+": "+other.Description))
+		}
+	}
+	return b.String()
+}
+
+// Table5Row is the summarized bug matrix (paper Table 5).
+type Table5Row struct {
+	System string
+	Inter  int
+	Sync   int
+	Intra  int
+	Other  int
+	Total  int
+}
+
+// Table5 computes the summary matrix.
+func (bd *BugDetection) Table5() []Table5Row {
+	var rows []Table5Row
+	for _, name := range Systems() {
+		res := bd.Results[name]
+		row := Table5Row{System: displayNames[name]}
+		for _, bug := range res.Bugs {
+			switch bug.Kind {
+			case core.KindInter:
+				row.Inter++
+			case core.KindSync:
+				row.Sync++
+			case core.KindIntra:
+				row.Intra++
+			}
+		}
+		row.Other = len(res.DB.Others())
+		row.Total = row.Inter + row.Sync + row.Intra + row.Other
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table5String renders Table 5.
+func (bd *BugDetection) Table5String() string {
+	var b strings.Builder
+	b.WriteString("Table 5: the number of unique bugs found by PMRace\n")
+	b.WriteString(fmt.Sprintf("%-16s %6s %6s %6s %6s %6s\n", "System", "Inter", "Sync", "Intra", "Other", "Total"))
+	var tot Table5Row
+	for _, r := range bd.Table5() {
+		b.WriteString(fmt.Sprintf("%-16s %6d %6d %6d %6d %6d\n", r.System, r.Inter, r.Sync, r.Intra, r.Other, r.Total))
+		tot.Inter += r.Inter
+		tot.Sync += r.Sync
+		tot.Intra += r.Intra
+		tot.Other += r.Other
+		tot.Total += r.Total
+	}
+	b.WriteString(fmt.Sprintf("%-16s %6d %6d %6d %6d %6d\n", "Total", tot.Inter, tot.Sync, tot.Intra, tot.Other, tot.Total))
+	return b.String()
+}
+
+// Table3Row is one system's detection/false-positive aggregate (Tables 3/6).
+type Table3Row struct {
+	System        string
+	InterCand     int
+	Inter         int
+	ValidatedFP   int
+	WhitelistedFP int
+	InterBugs     int
+	Annotations   int
+	Sync          int
+	SyncFP        int
+	SyncBugs      int
+}
+
+// Table3 computes the detection aggregates.
+func (bd *BugDetection) Table3() []Table3Row {
+	var rows []Table3Row
+	for _, name := range Systems() {
+		res := bd.Results[name]
+		tgt, _ := targets.New(name)
+		c := res.Counts
+		rows = append(rows, Table3Row{
+			System:        displayNames[name],
+			InterCand:     c.InterCandidates,
+			Inter:         c.Inter,
+			ValidatedFP:   c.InterValidated,
+			WhitelistedFP: c.InterWhitelist,
+			InterBugs:     c.InterBugs,
+			Annotations:   tgt.Annotations(),
+			Sync:          c.Sync,
+			SyncFP:        c.SyncValidated,
+			SyncBugs:      c.SyncBugs,
+		})
+	}
+	return rows
+}
+
+// Table3String renders Tables 3/6.
+func (bd *BugDetection) Table3String() string {
+	var b strings.Builder
+	b.WriteString("Table 3: PM concurrency bug detection results\n")
+	b.WriteString(fmt.Sprintf("%-16s %10s %6s %12s %14s %5s | %10s %5s %8s %5s\n",
+		"System", "Inter-Cand", "Inter", "ValidatedFP", "WhitelistedFP", "Bug", "Annotation", "Sync", "SyncFP", "Bug"))
+	var tot Table3Row
+	for _, r := range bd.Table3() {
+		b.WriteString(fmt.Sprintf("%-16s %10d %6d %12d %14d %5d | %10d %5d %8d %5d\n",
+			r.System, r.InterCand, r.Inter, r.ValidatedFP, r.WhitelistedFP, r.InterBugs,
+			r.Annotations, r.Sync, r.SyncFP, r.SyncBugs))
+		tot.InterCand += r.InterCand
+		tot.Inter += r.Inter
+		tot.ValidatedFP += r.ValidatedFP
+		tot.WhitelistedFP += r.WhitelistedFP
+		tot.InterBugs += r.InterBugs
+		tot.Annotations += r.Annotations
+		tot.Sync += r.Sync
+		tot.SyncFP += r.SyncFP
+		tot.SyncBugs += r.SyncBugs
+	}
+	b.WriteString(fmt.Sprintf("%-16s %10d %6d %12d %14d %5d | %10d %5d %8d %5d\n",
+		"Total", tot.InterCand, tot.Inter, tot.ValidatedFP, tot.WhitelistedFP, tot.InterBugs,
+		tot.Annotations, tot.Sync, tot.SyncFP, tot.SyncBugs))
+	return b.String()
+}
+
+// --- Figure 8 ---
+
+// Figure8Series is the detection-time series of one (system, scheme) pair.
+type Figure8Series struct {
+	System string
+	Scheme string
+	// Times are the elapsed times of executions that detected at least
+	// one PM Inter-thread Inconsistency (each is one point in Figure 8).
+	Times []time.Duration
+	// Execs is the total executions of the run.
+	Execs int
+}
+
+// FirstHit returns the earliest detection time, or 0/false when none.
+func (s Figure8Series) FirstHit() (time.Duration, bool) {
+	if len(s.Times) == 0 {
+		return 0, false
+	}
+	min := s.Times[0]
+	for _, t := range s.Times[1:] {
+		if t < min {
+			min = t
+		}
+	}
+	return min, true
+}
+
+// RunFigure8 compares PMRace's exploration against random delay injection on
+// the three systems with PM Interleaving Concurrency Bugs (clevel and CCEH
+// are excluded, as in the paper).
+func RunFigure8(cfg Config) ([]Figure8Series, error) {
+	cfg = cfg.withDefaults()
+	var out []Figure8Series
+	for _, name := range []string{"pclht", "fastfair", "memcached"} {
+		for _, mode := range []fuzz.ExploreMode{fuzz.ModePMAware, fuzz.ModeDelayInj} {
+			res, err := FuzzTarget(name, cfg, mode, nil)
+			if err != nil {
+				return nil, err
+			}
+			times := append([]time.Duration(nil), res.FirstInterTimes...)
+			sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+			out = append(out, Figure8Series{
+				System: displayNames[name],
+				Scheme: mode.String(),
+				Times:  times,
+				Execs:  res.Execs,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Figure8String renders the series.
+func Figure8String(series []Figure8Series) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: time to identify PM Inter-thread Inconsistency\n")
+	for _, s := range series {
+		first := "none"
+		if t, ok := s.FirstHit(); ok {
+			first = t.Round(time.Millisecond).String()
+		}
+		b.WriteString(fmt.Sprintf("%-16s %-9s first=%-10s hits=%d/%d execs\n",
+			s.System, s.Scheme, first, len(s.Times), s.Execs))
+	}
+	return b.String()
+}
+
+// --- Figure 9 ---
+
+// Figure9Series is one exploration variant's coverage timeline.
+type Figure9Series struct {
+	Variant  string
+	Timeline []fuzz.CoverPoint
+	Branch   int
+	Alias    int
+}
+
+// RunFigure9 measures the P-CLHT runtime-coverage tradeoff for the full
+// fuzzer, without interleaving-tier exploration and without seed-tier
+// exploration (single worker, as in the paper's case study).
+func RunFigure9(cfg Config) ([]Figure9Series, error) {
+	cfg = cfg.withDefaults()
+	variants := []struct {
+		name   string
+		mutate func(*fuzz.Options)
+	}{
+		{"PMRace", func(*fuzz.Options) {}},
+		{"w/o IE", func(o *fuzz.Options) { o.DisableInterleavingTier = true }},
+		{"w/o SE", func(o *fuzz.Options) { o.DisableSeedTier = true }},
+	}
+	var out []Figure9Series
+	for _, v := range variants {
+		mutate := v.mutate
+		res, err := FuzzTarget("pclht", cfg, fuzz.ModePMAware, func(o *fuzz.Options) {
+			o.Workers = 1
+			mutate(o)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure9Series{
+			Variant:  v.name,
+			Timeline: res.Timeline,
+			Branch:   res.BranchCov,
+			Alias:    res.AliasCov,
+		})
+	}
+	return out, nil
+}
+
+// Figure9String renders the final coverages and curve lengths.
+func Figure9String(series []Figure9Series) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: runtime-coverage of PMRace with P-CLHT\n")
+	for _, s := range series {
+		b.WriteString(fmt.Sprintf("%-8s branch=%-6d alias=%-6d points=%d\n",
+			s.Variant, s.Branch, s.Alias, len(s.Timeline)))
+	}
+	return b.String()
+}

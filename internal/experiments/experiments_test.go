@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/taint"
+
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/fuzz"
+)
+
+func TestSystemsAndDisplayNames(t *testing.T) {
+	if len(Systems()) != 5 {
+		t.Fatalf("systems = %v", Systems())
+	}
+	for _, s := range Systems() {
+		if displayNames[s] == "" {
+			t.Fatalf("missing display name for %s", s)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ExecsPerTarget == 0 || c.Duration == 0 || c.Workers == 0 || c.Seed == 0 {
+		t.Fatalf("defaults incomplete: %+v", c)
+	}
+	if Quick().ExecsPerTarget >= Full().ExecsPerTarget {
+		t.Fatalf("quick must be smaller than full")
+	}
+}
+
+func TestExtraWhitelist(t *testing.T) {
+	if len(extraWhitelist("fastfair")) == 0 {
+		t.Fatalf("fastfair must contribute whitelist entries")
+	}
+	if len(extraWhitelist("memcached")) == 0 {
+		t.Fatalf("memcached must contribute whitelist entries")
+	}
+	if len(extraWhitelist("pclht")) != 0 {
+		t.Fatalf("pclht has no extra whitelist")
+	}
+	if extraWhitelist("unknown") != nil {
+		t.Fatalf("unknown target must yield nil")
+	}
+}
+
+func TestRunTable4Shape(t *testing.T) {
+	res, err := RunTable4(Quick())
+	if err != nil {
+		t.Fatalf("table 4: %v", err)
+	}
+	afl, pmr := res.Commands["AFL++"], res.Commands["PMRace"]
+	if afl["Error"] == 0 {
+		t.Errorf("AFL++ byte mutator must produce Error commands, got %v", afl)
+	}
+	if pmr["Error"] != 0 {
+		t.Errorf("PMRace operation mutator must produce no Error commands, got %v", pmr)
+	}
+	if pmr["Update*"] == 0 || afl["Update*"] == 0 {
+		t.Errorf("both schemes must exercise updates: %v vs %v", pmr, afl)
+	}
+	out := res.String()
+	for _, want := range []string{"AFL++", "PMRace", "Get*", "Error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement")
+	}
+	cfg := Quick()
+	cfg.ExecsPerTarget = 12
+	rows, err := RunFigure10(cfg)
+	if err != nil {
+		t.Fatalf("figure 10: %v", err)
+	}
+	if len(rows) != 10 { // 5 systems x 2 generators
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Shape: checkpoints speed up at least one pmdk-based target and do
+	// not speed up memcached meaningfully.
+	pmdkFaster := false
+	for _, r := range rows {
+		if r.System != "memcached-pmem" && r.Speedup() > 1.2 {
+			pmdkFaster = true
+		}
+	}
+	if !pmdkFaster {
+		t.Errorf("checkpoints should speed up pool-formatted targets: %+v", rows)
+	}
+	out := Figure10String(rows)
+	if !strings.Contains(out, "speedup") {
+		t.Errorf("rendering wrong:\n%s", out)
+	}
+}
+
+func TestBugDetectionQuickPCLHT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing campaign")
+	}
+	// Single-target slice of the Table 2 pipeline, asserting the
+	// paper-shaped outcome for P-CLHT.
+	cfg := Quick()
+	cfg.ExecsPerTarget = 40
+	res, err := FuzzTarget("pclht", cfg, fuzz.ModePMAware, nil)
+	if err != nil {
+		t.Fatalf("fuzz: %v", err)
+	}
+	kinds := map[core.Kind]bool{}
+	for _, b := range res.Bugs {
+		kinds[b.Kind] = true
+	}
+	if !kinds[core.KindSync] {
+		t.Errorf("P-CLHT sync bug missing: %+v", res.Bugs)
+	}
+	if !kinds[core.KindIntra] {
+		t.Errorf("P-CLHT intra bug missing: %+v", res.Bugs)
+	}
+}
+
+func TestFigure8QuickSingleTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing campaign")
+	}
+	cfg := Quick()
+	cfg.ExecsPerTarget = 16
+	res, err := FuzzTarget("memcached", cfg, fuzz.ModePMAware, nil)
+	if err != nil {
+		t.Fatalf("fuzz: %v", err)
+	}
+	if len(res.FirstInterTimes) == 0 {
+		t.Errorf("memcached should produce inter-inconsistency detections quickly")
+	}
+	s := Figure8Series{System: "m", Scheme: "PMRace", Times: res.FirstInterTimes, Execs: res.Execs}
+	if _, ok := s.FirstHit(); !ok {
+		t.Errorf("first hit must exist")
+	}
+	out := Figure8String([]Figure8Series{s})
+	if !strings.Contains(out, "first=") {
+		t.Errorf("rendering wrong:\n%s", out)
+	}
+}
+
+func TestFigure8SeriesFirstHitEmpty(t *testing.T) {
+	s := Figure8Series{}
+	if _, ok := s.FirstHit(); ok {
+		t.Fatalf("empty series has no first hit")
+	}
+	if !strings.Contains(Figure8String([]Figure8Series{s}), "none") {
+		t.Fatalf("empty series must render as none")
+	}
+}
+
+// synthetic constructs a BugDetection with hand-built results, exercising the
+// table derivations without fuzzing.
+func synthetic() *BugDetection {
+	bd := &BugDetection{Config: Quick(), Results: map[string]*fuzz.Result{}}
+	for _, name := range Systems() {
+		db := core.NewDB()
+		res := &fuzz.Result{Target: name, DB: db}
+		bd.Results[name] = res
+	}
+	// P-CLHT: one inter bug, one validated FP, one sync bug, one other.
+	db := bd.Results["pclht"].DB
+	j1, _ := db.MergeInconsistency(&core.Inconsistency{Kind: core.KindInter, Count: 1})
+	j1.Status = core.StatusBug
+	j2, _ := db.MergeInconsistency(&core.Inconsistency{
+		Kind: core.KindInter, Count: 1, StoreSite: 5,
+		Event: taintEvent(9),
+	})
+	j2.Status = core.StatusValidatedFP
+	js, _ := db.MergeSync(&core.SyncInconsistency{Var: core.SyncVar{Name: "bucket-lock"}, Site: 3, Count: 1})
+	js.Status = core.StatusBug
+	db.AddOther(core.OtherFinding{Kind: "hang", Site: 1})
+	for name := range bd.Results {
+		bd.Results[name].Counts = bd.Results[name].DB.Tally()
+		bd.Results[name].Bugs = bd.Results[name].DB.UniqueBugs()
+	}
+	return bd
+}
+
+func taintEvent(writeSite uint32) taint.Event {
+	return taint.Event{WriteSite: writeSite, ReadSite: writeSite + 1, Writer: 1, Reader: 2}
+}
+
+func TestTable5FromSyntheticResults(t *testing.T) {
+	bd := synthetic()
+	rows := bd.Table5()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].System != "P-CLHT" || rows[0].Inter != 1 || rows[0].Sync != 1 || rows[0].Other != 1 {
+		t.Fatalf("pclht row = %+v", rows[0])
+	}
+	if rows[1].Total != 0 {
+		t.Fatalf("clevel must be empty: %+v", rows[1])
+	}
+	out := bd.Table5String()
+	if !strings.Contains(out, "P-CLHT") || !strings.Contains(out, "Total") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}
+
+func TestTable3FromSyntheticResults(t *testing.T) {
+	bd := synthetic()
+	rows := bd.Table3()
+	if rows[0].Inter != 2 || rows[0].ValidatedFP != 1 || rows[0].InterBugs != 1 {
+		t.Fatalf("pclht table3 row = %+v", rows[0])
+	}
+	if rows[0].Annotations != 4 {
+		t.Fatalf("pclht annotations = %d", rows[0].Annotations)
+	}
+	out := bd.Table3String()
+	if !strings.Contains(out, "Inter-Cand") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	bd := synthetic()
+	out := bd.Table2()
+	for _, want := range []string{"P-CLHT", "Sync", "bucket-lock", "hang"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure9StringRendering(t *testing.T) {
+	out := Figure9String([]Figure9Series{{Variant: "PMRace", Branch: 10, Alias: 20}})
+	if !strings.Contains(out, "PMRace") || !strings.Contains(out, "alias=20") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}
+
+func TestFigure10RowSpeedup(t *testing.T) {
+	r := Figure10Row{WithCP: 20, WithoutCP: 10}
+	if r.Speedup() != 2 {
+		t.Fatalf("speedup = %f", r.Speedup())
+	}
+	if (Figure10Row{}).Speedup() != 0 {
+		t.Fatalf("zero row speedup must be 0")
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	dir := t.TempDir()
+	if err := Figure8CSV(dir, []Figure8Series{{System: "s", Scheme: "PMRace", Times: []time.Duration{time.Millisecond}}}); err != nil {
+		t.Fatalf("figure8 csv: %v", err)
+	}
+	if err := Figure9CSV(dir, []Figure9Series{{Variant: "PMRace", Timeline: []fuzz.CoverPoint{{T: time.Second, Branch: 1, Alias: 2}}}}); err != nil {
+		t.Fatalf("figure9 csv: %v", err)
+	}
+	if err := Figure10CSV(dir, []Figure10Row{{System: "s", Generator: "g", WithCP: 2, WithoutCP: 1}}); err != nil {
+		t.Fatalf("figure10 csv: %v", err)
+	}
+	for _, f := range []string{"figure8.csv", "figure9.csv", "figure10.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil || len(data) == 0 {
+			t.Fatalf("%s: %v (%d bytes)", f, err, len(data))
+		}
+	}
+}

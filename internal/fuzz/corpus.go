@@ -1,0 +1,78 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/pmrace-go/pmrace/internal/workload"
+)
+
+// Corpus persistence: like AFL++'s queue directory, seeds that improved
+// coverage are written out as plain protocol text so campaigns can resume,
+// share seeds across runs, and attach inputs to bug reports. File names
+// carry a sequence number; the text format is the one workload.Decode
+// parses, so saved seeds are also directly usable as driver input.
+
+// LoadCorpus reads every seed file in dir (sorted by name) with the given
+// thread count. A missing directory yields an empty corpus, not an error.
+func LoadCorpus(dir string, threads int) ([]*workload.Seed, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: reading corpus dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".seed") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*workload.Seed
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: reading seed %s: %w", name, err)
+		}
+		seed := workload.Decode(string(data), threads)
+		if len(seed.Ops) > 0 {
+			out = append(out, seed)
+		}
+	}
+	return out, nil
+}
+
+// SaveSeed writes a seed into dir as NNNNNN.seed, returning the path.
+func SaveSeed(dir string, n int, seed *workload.Seed) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%06d.seed", n))
+	if err := os.WriteFile(path, []byte(seed.Encode()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// saveCorpusSeed persists a coverage-improving seed when a corpus directory
+// is configured. Errors are reported once through the fuzzer's result
+// (corpus persistence must never abort a campaign).
+func (f *Fuzzer) saveCorpusSeed(seed *workload.Seed) {
+	if f.opts.CorpusDir == "" {
+		return
+	}
+	f.mu.Lock()
+	n := f.savedSeeds
+	f.savedSeeds++
+	f.mu.Unlock()
+	if _, err := SaveSeed(f.opts.CorpusDir, n, seed); err != nil {
+		f.mu.Lock()
+		f.corpusErr = err
+		f.mu.Unlock()
+	}
+}

@@ -1,0 +1,235 @@
+package fuzz
+
+import (
+	"sync"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/cover"
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/sched"
+	"github.com/pmrace-go/pmrace/internal/targets"
+	"github.com/pmrace-go/pmrace/internal/workload"
+)
+
+// CapturedInconsistency pairs a detected inconsistency with the pool image
+// PMRace duplicated at the crash point (paper §4.4): the durable side effect
+// is force-persisted, the dependent dirty data is not.
+type CapturedInconsistency struct {
+	In  *core.Inconsistency
+	Img []byte
+}
+
+// CapturedSync is the synchronization-variable analogue.
+type CapturedSync struct {
+	Si  *core.SyncInconsistency
+	Img []byte
+}
+
+// ExecResult is everything one execution of a seed produced.
+type ExecResult struct {
+	Candidates      []*core.Candidate
+	Inconsistencies []CapturedInconsistency
+	Syncs           []CapturedSync
+	Redundant       []*core.RedundantStore
+	Hangs           []rt.HangReport
+	Coverage        *cover.Coverage
+	Stats           map[pmem.Addr]*sched.AddrStats
+	Outcome         *sched.Outcome // set when the PM-aware strategy ran
+	Duration        time.Duration
+	SetupDuration   time.Duration
+	ExecErrors      int
+}
+
+// InterInconsistencies counts detected cross-thread inconsistencies.
+func (r *ExecResult) InterInconsistencies() int {
+	n := 0
+	for _, c := range r.Inconsistencies {
+		if c.In.Kind == core.KindInter {
+			n++
+		}
+	}
+	return n
+}
+
+// ExecOptions configure the campaign executor.
+type ExecOptions struct {
+	// HangTimeout bounds lock acquisition during the workload.
+	HangTimeout time.Duration
+	// UseCheckpoints enables the in-memory pool checkpoint: the pool is
+	// initialized once, snapshotted, and every execution starts from a
+	// restored copy plus the target's (cheap) recovery, replacing the
+	// expensive Setup — the fork-server substitute of paper §5.
+	UseCheckpoints bool
+	// CollectStats enables per-address access statistics (off for pure
+	// input-generation runs, which the paper decouples from interleaving
+	// exploration for speed).
+	CollectStats bool
+	// EADR models battery-backed caches (paper §6.6): stores are durable
+	// at visibility, so inter-thread inconsistencies cannot occur while
+	// synchronization inconsistencies still can.
+	EADR bool
+}
+
+// Executor runs fuzz campaign executions against one target.
+type Executor struct {
+	factory targets.Factory
+	opts    ExecOptions
+
+	snapMu sync.Mutex
+	snap   *pmem.Snapshot
+}
+
+// NewExecutor creates an executor for the target factory.
+func NewExecutor(factory targets.Factory, opts ExecOptions) *Executor {
+	if opts.HangTimeout <= 0 {
+		opts.HangTimeout = 80 * time.Millisecond
+	}
+	return &Executor{factory: factory, opts: opts}
+}
+
+// newPool creates a pool honouring the executor's platform options.
+func (x *Executor) newPool(size uint64) *pmem.Pool {
+	return pmem.NewWithOptions(size, pmem.Options{EADR: x.opts.EADR})
+}
+
+// checkpoint builds the shared pool snapshot on first use: a fresh pool with
+// the target's Setup applied.
+func (x *Executor) checkpoint() (*pmem.Snapshot, error) {
+	x.snapMu.Lock()
+	defer x.snapMu.Unlock()
+	if x.snap != nil {
+		return x.snap, nil
+	}
+	tgt := x.factory()
+	env := rt.NewEnv(x.newPool(tgt.PoolSize()), rt.Config{})
+	th := env.Spawn()
+	if err := tgt.Setup(th); err != nil {
+		return nil, err
+	}
+	th.Exit()
+	x.snap = env.Pool().Snapshot()
+	return x.snap, nil
+}
+
+// Run executes the seed once under the given interleaving strategy and
+// returns everything the PM checkers and coverage maps observed. Each
+// execution begins from an empty, freshly initialized pool (or its
+// checkpoint) to avoid the side effects of previous pools (paper §4.5).
+func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, error) {
+	start := time.Now()
+	res := &ExecResult{}
+	var mu sync.Mutex // guards res' capture slices across worker threads
+
+	var pool *pmem.Pool
+	fromCheckpoint := false
+	tgt := x.factory()
+	if x.opts.UseCheckpoints {
+		snap, err := x.checkpoint()
+		if err != nil {
+			return nil, err
+		}
+		pool = pmem.NewFromSnapshot(snap)
+		fromCheckpoint = true
+	} else {
+		pool = x.newPool(tgt.PoolSize())
+	}
+
+	env := rt.NewEnv(pool, rt.Config{
+		Strategy:     strat,
+		HangTimeout:  x.opts.HangTimeout,
+		CollectStats: x.opts.CollectStats,
+		TraceDepth:   64,
+		OnInconsistency: func(e *rt.Env, in *core.Inconsistency) {
+			in.Trace = rt.FormatTrace(e.RecentAccesses(), 12)
+			in.Input = seed.Encode()
+			img := e.Pool().CrashImageWith([]pmem.Range{in.SideEffect})
+			mu.Lock()
+			res.Inconsistencies = append(res.Inconsistencies, CapturedInconsistency{In: in, Img: img})
+			mu.Unlock()
+		},
+		OnSync: func(e *rt.Env, si *core.SyncInconsistency) {
+			si.Input = seed.Encode()
+			img := e.Pool().CrashImageWith([]pmem.Range{{Off: si.Addr, Len: 8}})
+			mu.Lock()
+			res.Syncs = append(res.Syncs, CapturedSync{Si: si, Img: img})
+			mu.Unlock()
+		},
+		OnHang: func(_ *rt.Env, h rt.HangReport) {
+			mu.Lock()
+			res.Hangs = append(res.Hangs, h)
+			mu.Unlock()
+		},
+	})
+
+	// Setup phase (the cost the checkpoint amortizes).
+	setupStart := time.Now()
+	init := env.Spawn()
+	var err error
+	if fromCheckpoint {
+		err = tgt.Recover(init)
+	} else {
+		err = tgt.Setup(init)
+	}
+	init.Exit()
+	if err != nil {
+		return nil, err
+	}
+	res.SetupDuration = time.Since(setupStart)
+
+	// Workload phase: one goroutine per driver thread. A start barrier
+	// makes the threads actually overlap: without it, goroutine startup
+	// latency exceeds a short workload's runtime and the execution
+	// degenerates to sequential order with no cross-thread windows.
+	parts := seed.Split()
+	env.BeginExec(len(parts))
+	gate := make(chan struct{})
+	var ready sync.WaitGroup
+	var wg sync.WaitGroup
+	for _, ops := range parts {
+		wg.Add(1)
+		ready.Add(1)
+		go func(ops []workload.Op) {
+			defer wg.Done()
+			th := env.Spawn()
+			defer th.Exit()
+			ready.Done()
+			<-gate
+			defer func() {
+				// A hung thread abandons its remaining
+				// operations; the hang was already reported
+				// through OnHang.
+				if r := recover(); r != nil {
+					if _, ok := r.(rt.HangError); !ok {
+						panic(r)
+					}
+				}
+			}()
+			for _, op := range ops {
+				if execErr := tgt.Exec(th, op); execErr != nil {
+					mu.Lock()
+					res.ExecErrors++
+					mu.Unlock()
+				}
+			}
+		}(ops)
+	}
+	ready.Wait()
+	close(gate)
+	wg.Wait()
+	env.EndExec()
+
+	res.Candidates = env.Detector().Candidates()
+	res.Redundant = env.Detector().RedundantStores()
+	res.Coverage = env.Coverage()
+	if x.opts.CollectStats {
+		res.Stats = env.Stats()
+	}
+	if pm, ok := strat.(*sched.PMAware); ok {
+		o := pm.Outcome()
+		res.Outcome = &o
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}

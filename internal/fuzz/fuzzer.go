@@ -1,0 +1,559 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/cover"
+	"github.com/pmrace-go/pmrace/internal/pmdk"
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/sched"
+	"github.com/pmrace-go/pmrace/internal/site"
+	"github.com/pmrace-go/pmrace/internal/targets"
+	"github.com/pmrace-go/pmrace/internal/validate"
+	"github.com/pmrace-go/pmrace/internal/workload"
+)
+
+// ExploreMode selects the interleaving exploration strategy.
+type ExploreMode int
+
+const (
+	// ModePMAware is PMRace's exploration: priority-queue sync points
+	// with cond_wait/cond_signal injection (paper §4.2.2).
+	ModePMAware ExploreMode = iota
+	// ModeDelayInj is the random delay-injection baseline (§6.1).
+	ModeDelayInj
+	// ModeNone runs under the Go scheduler alone.
+	ModeNone
+)
+
+func (m ExploreMode) String() string {
+	switch m {
+	case ModePMAware:
+		return "PMRace"
+	case ModeDelayInj:
+		return "DelayInj"
+	default:
+		return "None"
+	}
+}
+
+// Options configure a fuzzing run. Zero values select the evaluation's
+// defaults (§6.1: 4 driver threads; simulation-scaled timings).
+type Options struct {
+	Threads    int
+	KeySpace   int
+	OpsPerSeed int
+	// Workers is the number of concurrent fuzzing worker goroutines
+	// (paper §5 "Concurrent Fuzzing"; the evaluation uses 13 worker
+	// processes).
+	Workers int
+	Mode    ExploreMode
+	// MaxExecs bounds the total number of executions; Duration bounds
+	// wall-clock time. Whichever is hit first stops the run.
+	MaxExecs int
+	Duration time.Duration
+	// Seed seeds all randomness for reproducibility.
+	Seed int64
+	// DisableInterleavingTier ablates interleaving-tier exploration
+	// ("w/o IE", Figure 9).
+	DisableInterleavingTier bool
+	// DisableSeedTier ablates seed-tier exploration ("w/o SE", Figure 9).
+	DisableSeedTier bool
+	// NoCheckpoints disables the in-memory pool checkpoints (Figure 10).
+	NoCheckpoints bool
+	// ExecsPerInterleaving is the execution-tier repetition count.
+	ExecsPerInterleaving int
+	// MaxInterleavingsPerSeed bounds interleaving-tier entries per seed.
+	MaxInterleavingsPerSeed int
+	// ExtraWhitelist adds target-specific whitelist entries on top of the
+	// default (mini-PMDK transactional allocation).
+	ExtraWhitelist []string
+	// Mutator overrides the default operation mutator (the Table 4
+	// baseline passes a ByteMutator).
+	Mutator Mutator
+	// HangTimeout bounds lock acquisition per thread.
+	HangTimeout time.Duration
+	// RedundantThreshold is the dynamic-occurrence count above which a
+	// redundant-store site is reported as an "Other" finding (incidental
+	// same-value rewrites stay below it; P-CLHT's unnecessary migration
+	// writes fire hundreds of times).
+	RedundantThreshold int
+	// EADR fuzzes against a platform with battery-backed caches (paper
+	// §6.6): no store is ever non-persisted, so PM Inter-thread
+	// Inconsistency cannot occur; PM Synchronization Inconsistency (and
+	// its post-recovery hangs) remains.
+	EADR bool
+	// CorpusDir, when set, seeds the initial corpus from *.seed files in
+	// the directory and persists coverage-improving seeds back into it
+	// (the AFL++ queue-directory workflow the paper's artifact uses).
+	CorpusDir string
+	// Sched tunes the PM-aware scheduling algorithm.
+	Sched sched.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.KeySpace <= 0 {
+		o.KeySpace = 16
+	}
+	if o.OpsPerSeed <= 0 {
+		o.OpsPerSeed = 48
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.MaxExecs <= 0 {
+		o.MaxExecs = 200
+	}
+	if o.Duration <= 0 {
+		o.Duration = 30 * time.Second
+	}
+	if o.ExecsPerInterleaving <= 0 {
+		o.ExecsPerInterleaving = 2
+	}
+	if o.MaxInterleavingsPerSeed <= 0 {
+		o.MaxInterleavingsPerSeed = 6
+	}
+	if o.HangTimeout <= 0 {
+		o.HangTimeout = 80 * time.Millisecond
+	}
+	if o.RedundantThreshold <= 0 {
+		o.RedundantThreshold = 100
+	}
+	if o.Sched.Poll <= 0 {
+		o.Sched = sched.DefaultConfig()
+	}
+	return o
+}
+
+// CoverPoint is one sample of the runtime-coverage timeline (Figure 9).
+type CoverPoint struct {
+	T      time.Duration
+	Branch int
+	Alias  int
+}
+
+// Result aggregates a fuzzing run for the evaluation harness.
+type Result struct {
+	Target    string
+	Mode      ExploreMode
+	Execs     int
+	Seeds     int
+	Elapsed   time.Duration
+	DB        *core.DB
+	Counts    core.Counts
+	Bugs      []core.UniqueBug
+	BranchCov int
+	AliasCov  int
+	// FirstInterTimes holds, for every execution that detected at least
+	// one PM Inter-thread Inconsistency, the elapsed time at which it
+	// finished (the points of Figure 8).
+	FirstInterTimes []time.Duration
+	// Timeline samples global coverage after every execution (Figure 9).
+	Timeline []CoverPoint
+	// ExecsPerSec is the average execution throughput (Figure 10).
+	ExecsPerSec float64
+	// HangSites lists distinct lock sites that hung pre-failure.
+	HangSites []string
+	// RedundantSites lists store sites flagged as redundant writes.
+	RedundantSites []string
+}
+
+// Fuzzer is PMRace's top-level fuzzing engine for one target.
+type Fuzzer struct {
+	factory   targets.Factory
+	opts      Options
+	exec      *Executor
+	whitelist *core.Whitelist
+
+	mu         sync.Mutex
+	corpus     []*workload.Seed
+	nextSeed   int
+	cov        *cover.Coverage
+	db         *core.DB
+	skips      map[pmem.Addr]int // sync-point skip counts (Pitfall-3 bookkeeping)
+	stats      map[pmem.Addr]*sched.AddrStats
+	execs      int
+	seedCount  int
+	candSeen   map[[2]uint32]struct{}
+	candInter  int
+	candIntra  int
+	firstInt   []time.Duration
+	timeline   []CoverPoint
+	hangSites  map[string]struct{}
+	hangExecs  map[string]int // executions that hung at a site
+	savedSeeds int
+	corpusErr  error
+	redSites   map[string]struct{}
+	mutator    Mutator
+	rng        *rand.Rand
+	start      time.Time
+}
+
+// New creates a fuzzer for a registered target name.
+func New(targetName string, opts Options) (*Fuzzer, error) {
+	if _, err := targets.New(targetName); err != nil {
+		return nil, err
+	}
+	factory := func() targets.Target {
+		t, err := targets.New(targetName)
+		if err != nil {
+			panic(err) // cannot happen: validated above
+		}
+		return t
+	}
+	return NewWithFactory(factory, opts), nil
+}
+
+// NewWithFactory creates a fuzzer from an explicit target factory.
+func NewWithFactory(factory targets.Factory, opts Options) *Fuzzer {
+	opts = opts.withDefaults()
+	wl := core.NewWhitelist(pmdk.DefaultWhitelist()...)
+	wl.Add(opts.ExtraWhitelist...)
+	mut := opts.Mutator
+	if mut == nil {
+		mut = NewOpMutator(opts.KeySpace, opts.Threads, opts.OpsPerSeed)
+	}
+	return &Fuzzer{
+		factory: factory,
+		opts:    opts,
+		exec: NewExecutor(factory, ExecOptions{
+			HangTimeout:    opts.HangTimeout,
+			UseCheckpoints: !opts.NoCheckpoints,
+			CollectStats:   true,
+			EADR:           opts.EADR,
+		}),
+		whitelist: wl,
+		cov:       cover.New(),
+		db:        core.NewDB(),
+		skips:     make(map[pmem.Addr]int),
+		stats:     make(map[pmem.Addr]*sched.AddrStats),
+		hangSites: make(map[string]struct{}),
+		hangExecs: make(map[string]int),
+		redSites:  make(map[string]struct{}),
+		candSeen:  make(map[[2]uint32]struct{}),
+		mutator:   mut,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Run executes the fuzzing loop until the execution or time budget is
+// exhausted and returns the aggregated result.
+func (f *Fuzzer) Run() (*Result, error) {
+	f.start = time.Now()
+	gen := workload.NewGenerator(f.opts.Seed, f.opts.KeySpace, f.opts.Threads)
+	// The initial corpus combines a random mixed-operation seed, a
+	// populate-heavy seed (the load phase with many insertions triggers
+	// the resizing mechanisms of PM key-value stores and indexes) and a
+	// hot-key read-modify-write seed (similar keys maximize shared PM
+	// accesses and arm the read-after-write sync points) — §4.5.
+	f.corpus = []*workload.Seed{
+		gen.NewSeed(f.opts.OpsPerSeed),
+		gen.PopulationSeed(f.opts.OpsPerSeed * 2),
+		gen.HotKeySeed(f.opts.OpsPerSeed),
+	}
+	if f.opts.CorpusDir != "" {
+		loaded, err := LoadCorpus(f.opts.CorpusDir, f.opts.Threads)
+		if err != nil {
+			return nil, err
+		}
+		f.corpus = append(f.corpus, loaded...)
+	}
+	f.seedCount = len(f.corpus)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, f.opts.Workers)
+	for w := 0; w < f.opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(f.opts.Seed + int64(w)*7919))
+			for !f.done() {
+				if err := f.seedCampaign(rng); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return f.result(), nil
+}
+
+func (f *Fuzzer) done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.execs >= f.opts.MaxExecs || time.Since(f.start) >= f.opts.Duration
+}
+
+// seedCampaign runs one seed-tier iteration: pick or evolve a seed, run the
+// execution tier, then walk the priority queue for interleaving-tier
+// exploration (paper §4.2.3).
+func (f *Fuzzer) seedCampaign(rng *rand.Rand) error {
+	seed := f.pickSeed(rng)
+
+	// Execution tier: base executions collecting coverage and the shared
+	// PM access statistics that feed the priority queue.
+	improved := false
+	for i := 0; i < f.opts.ExecsPerInterleaving && !f.done(); i++ {
+		imp, err := f.runOne(seed, f.baseStrategy(rng))
+		if err != nil {
+			return err
+		}
+		improved = improved || imp
+	}
+
+	// Interleaving tier: drive executions towards reading non-persisted
+	// data at hot shared addresses.
+	if f.opts.Mode == ModePMAware && !f.opts.DisableInterleavingTier {
+		queue := f.buildQueue()
+		for i := 0; i < f.opts.MaxInterleavingsPerSeed && !f.done(); i++ {
+			entry := queue.Pop()
+			if entry == nil {
+				break
+			}
+			for e := 0; e < f.opts.ExecsPerInterleaving && !f.done(); e++ {
+				cfg := f.opts.Sched
+				cfg.Seed = rng.Int63()
+				pm := sched.NewPMAware(cfg, entry, f.skipFor(entry.Addr))
+				imp, err := f.runOne(seed, pm)
+				if err != nil {
+					return err
+				}
+				improved = improved || imp
+				if out := pm.Outcome(); out.Disabled {
+					// Pitfall-3: save an increased skip so
+					// future campaigns on this seed bypass
+					// the blocking cond_wait executions.
+					f.addSkip(entry.Addr, out.CondWaits)
+				}
+			}
+		}
+	}
+
+	if improved {
+		f.saveCorpusSeed(seed)
+	}
+
+	// Seed tier: evolve the corpus when this seed stopped helping.
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if om, ok := f.mutator.(*OpMutator); ok {
+		if improved {
+			om.MarkProgress()
+		} else {
+			om.MarkStale()
+		}
+	}
+	if !f.opts.DisableSeedTier {
+		next := f.mutator.Mutate(rng, f.corpus)
+		f.corpus = append(f.corpus, next)
+		f.seedCount++
+		if len(f.corpus) > 32 { // bounded corpus, oldest evicted
+			f.corpus = f.corpus[1:]
+		}
+	}
+	return nil
+}
+
+func (f *Fuzzer) baseStrategy(rng *rand.Rand) sched.Strategy {
+	if f.opts.Mode == ModeDelayInj {
+		return sched.NewDelayInjector(0, rng.Int63())
+	}
+	return sched.None{}
+}
+
+func (f *Fuzzer) pickSeed(rng *rand.Rand) *workload.Seed {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.opts.DisableSeedTier {
+		return f.corpus[0]
+	}
+	s := f.corpus[f.nextSeed%len(f.corpus)]
+	f.nextSeed++
+	return s
+}
+
+func (f *Fuzzer) buildQueue() *sched.Queue {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return sched.BuildQueue(f.stats)
+}
+
+func (f *Fuzzer) skipFor(addr pmem.Addr) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.skips[addr]
+}
+
+func (f *Fuzzer) addSkip(addr pmem.Addr, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	f.skips[addr] += n
+}
+
+// runOne executes the seed once, validates new findings post-failure, and
+// merges everything into the global state. It reports whether coverage
+// improved.
+func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy) (bool, error) {
+	res, err := f.exec.Run(seed, strat)
+	if err != nil {
+		return false, err
+	}
+
+	// Post-failure stage: judge each newly discovered inconsistency.
+	vopts := validate.Options{HangTimeout: f.opts.HangTimeout, Whitelist: f.whitelist}
+	type judgement struct {
+		j  *core.JudgedInconsistency
+		st core.Status
+	}
+	f.mu.Lock()
+	var toValidate []CapturedInconsistency
+	var newJ []*core.JudgedInconsistency
+	for _, cap := range res.Inconsistencies {
+		j, isNew := f.db.MergeInconsistency(cap.In)
+		if isNew {
+			toValidate = append(toValidate, cap)
+			newJ = append(newJ, j)
+		}
+	}
+	var syncToValidate []CapturedSync
+	var newSyncJ []*core.JudgedSync
+	for _, cap := range res.Syncs {
+		j, isNew := f.db.MergeSync(cap.Si)
+		if isNew {
+			syncToValidate = append(syncToValidate, cap)
+			newSyncJ = append(newSyncJ, j)
+		}
+	}
+	f.mu.Unlock()
+
+	// Validation runs outside the lock: it executes recovery code.
+	var judged []judgement
+	for i, cap := range toValidate {
+		r := validate.Inconsistency(f.factory, cap.Img, cap.In, vopts)
+		judged = append(judged, judgement{newJ[i], r.Status})
+	}
+	var syncJudged []core.Status
+	for _, cap := range syncToValidate {
+		r := validate.Sync(f.factory, cap.Img, cap.Si, vopts)
+		syncJudged = append(syncJudged, r.Status)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, jj := range judged {
+		jj.j.Status = jj.st
+	}
+	for i, st := range syncJudged {
+		newSyncJ[i].Status = st
+	}
+	hungThisExec := map[string]bool{}
+	for _, h := range res.Hangs {
+		f.hangSites[h.Site] = struct{}{}
+		hungThisExec[h.Site] = true
+	}
+	for s := range hungThisExec {
+		f.hangExecs[s]++
+		// Reported as a finding only when the hang recurs: a leaked lock
+		// (a missing-unlock bug) hangs execution after execution, while
+		// a one-off stall is scheduler starvation on loaded machines.
+		// One unique finding per run: hangs at many acquire sites share
+		// one root cause; individual sites are kept in HangSites.
+		if f.hangExecs[s] >= 3 {
+			f.db.AddOther(core.OtherFinding{
+				Kind:        "hang",
+				Site:        site.Named("pre-failure hang"),
+				Description: fmt.Sprintf("threads repeatedly hung acquiring locks (e.g. at %s)", s),
+			})
+		}
+	}
+	for _, r := range res.Redundant {
+		if r.Count >= f.opts.RedundantThreshold {
+			loc := site.Lookup(r.Site).String()
+			f.redSites[loc] = struct{}{}
+			f.db.AddOther(core.OtherFinding{
+				Kind:        "redundant-write",
+				Site:        r.Site,
+				Description: fmt.Sprintf("redundant PM writes at %s (%d occurrences)", loc, r.Count),
+			})
+		}
+	}
+	for _, c := range res.Candidates {
+		key := [2]uint32{c.Event.WriteSite, c.Event.ReadSite}
+		if _, seen := f.candSeen[key]; seen {
+			continue
+		}
+		f.candSeen[key] = struct{}{}
+		if c.Inter() {
+			f.candInter++
+		} else {
+			f.candIntra++
+		}
+	}
+	for addr, st := range res.Stats {
+		agg, ok := f.stats[addr]
+		if !ok {
+			agg = sched.NewAddrStats()
+			f.stats[addr] = agg
+		}
+		agg.Merge(st)
+	}
+	newBits := f.cov.Merge(res.Coverage)
+	f.execs++
+	if res.InterInconsistencies() > 0 {
+		f.firstInt = append(f.firstInt, time.Since(f.start))
+	}
+	br, al := f.cov.Counts()
+	f.timeline = append(f.timeline, CoverPoint{T: time.Since(f.start), Branch: br, Alias: al})
+	return newBits > 0, nil
+}
+
+func (f *Fuzzer) result() *Result {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	br, al := f.cov.Counts()
+	elapsed := time.Since(f.start)
+	r := &Result{
+		Target:          f.factory().Name(),
+		Mode:            f.opts.Mode,
+		Execs:           f.execs,
+		Seeds:           f.seedCount,
+		Elapsed:         elapsed,
+		DB:              f.db,
+		Counts:          f.db.Tally(),
+		Bugs:            f.db.UniqueBugs(),
+		BranchCov:       br,
+		AliasCov:        al,
+		FirstInterTimes: append([]time.Duration(nil), f.firstInt...),
+		Timeline:        append([]CoverPoint(nil), f.timeline...),
+	}
+	if elapsed > 0 {
+		r.ExecsPerSec = float64(f.execs) / elapsed.Seconds()
+	}
+	for s := range f.hangSites {
+		r.HangSites = append(r.HangSites, s)
+	}
+	for s := range f.redSites {
+		r.RedundantSites = append(r.RedundantSites, s)
+	}
+	// Candidates are deduplicated across executions in runOne; the DB only
+	// holds confirmed inconsistencies.
+	r.Counts.InterCandidates = f.candInter
+	r.Counts.IntraCandidates = f.candIntra
+	return r
+}

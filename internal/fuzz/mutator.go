@@ -1,0 +1,206 @@
+// Package fuzz implements PMRace's PM-aware coverage-guided fuzzer (paper
+// §4): the operation mutator generating structured inputs (§4.5), the
+// campaign executor that runs seeds against a target under an interleaving
+// strategy, the three-tier exploration loop (§4.2.3), in-memory pool
+// checkpoints replacing AFL++'s fork server (§5), post-failure validation
+// dispatch (§4.4), and result aggregation for the evaluation harness.
+package fuzz
+
+import (
+	"math/rand"
+	"strconv"
+
+	"github.com/pmrace-go/pmrace/internal/workload"
+)
+
+// Mutator derives a new seed from a corpus. Implementations must be
+// deterministic given the rng.
+type Mutator interface {
+	Mutate(rng *rand.Rand, corpus []*workload.Seed) *workload.Seed
+}
+
+// OpMutator is PMRace's operation mutator (paper §4.5): it evolves seeds with
+// the five strategies inspired by Krace — mutation, addition, deletion,
+// shuffling and merging — prioritizes similar keys to increase shared PM
+// accesses, and falls back to insert-heavy population seeds to trigger
+// resizing when coverage stalls.
+type OpMutator struct {
+	// KeySpace bounds the key universe; a small space concentrates
+	// operations on shared keys.
+	KeySpace int
+	// Threads is the worker thread count of produced seeds.
+	Threads int
+	// OpsPerSeed is the target operation count for fresh seeds.
+	OpsPerSeed int
+	// stale counts consecutive mutations without coverage improvement;
+	// the fuzzer pokes it via MarkStale/MarkProgress.
+	stale int
+}
+
+// NewOpMutator creates the operation mutator with the evaluation's defaults
+// (4 driver threads, paper §6.1).
+func NewOpMutator(keySpace, threads, opsPerSeed int) *OpMutator {
+	if keySpace <= 0 {
+		keySpace = 16
+	}
+	if threads <= 0 {
+		threads = 4
+	}
+	if opsPerSeed <= 0 {
+		opsPerSeed = 48
+	}
+	return &OpMutator{KeySpace: keySpace, Threads: threads, OpsPerSeed: opsPerSeed}
+}
+
+// MarkStale records that recent seeds did not improve coverage; after enough
+// stale rounds Mutate emits a population seed (the "load phase" fallback).
+func (m *OpMutator) MarkStale() { m.stale++ }
+
+// MarkProgress resets the staleness counter.
+func (m *OpMutator) MarkProgress() { m.stale = 0 }
+
+// Mutate implements Mutator.
+func (m *OpMutator) Mutate(rng *rand.Rand, corpus []*workload.Seed) *workload.Seed {
+	gen := workload.NewGenerator(rng.Int63(), m.KeySpace, m.Threads)
+	if len(corpus) == 0 {
+		return gen.NewSeed(m.OpsPerSeed)
+	}
+	if m.stale >= 3 {
+		// Population fallback: many inserts with distinct keys to push
+		// the system into resizing territory.
+		m.stale = 0
+		return gen.PopulationSeed(m.OpsPerSeed * 2)
+	}
+	base := corpus[rng.Intn(len(corpus))].Clone()
+	switch rng.Intn(5) {
+	case 0:
+		return m.mutateOp(rng, gen, base)
+	case 1:
+		return m.addOp(rng, gen, base)
+	case 2:
+		return m.deleteOp(rng, base)
+	case 3:
+		return m.shuffle(rng, base)
+	default:
+		other := corpus[rng.Intn(len(corpus))]
+		return m.merge(rng, base, other)
+	}
+}
+
+// mutateOp updates an arbitrary parameter of a random operation to another
+// valid value, preferring keys already used by the seed (similar keys raise
+// the chance of PM alias pairs).
+func (m *OpMutator) mutateOp(rng *rand.Rand, gen *workload.Generator, s *workload.Seed) *workload.Seed {
+	if len(s.Ops) == 0 {
+		return gen.NewSeed(m.OpsPerSeed)
+	}
+	i := rng.Intn(len(s.Ops))
+	op := &s.Ops[i]
+	switch {
+	case rng.Intn(2) == 0:
+		// Prefer a key another operation of this seed already uses.
+		op.Key = s.Ops[rng.Intn(len(s.Ops))].Key
+	case op.Kind == workload.OpIncr || op.Kind == workload.OpDecr:
+		// Deltas must stay numeric to remain valid commands.
+		op.Value = strconv.Itoa(1 + rng.Intn(99))
+	case op.Kind.Mutates() && op.Kind != workload.OpDelete:
+		op.Value = gen.Value()
+	default:
+		op.Key = gen.Key()
+	}
+	return s
+}
+
+// addOp inserts an operation at an arbitrary position.
+func (m *OpMutator) addOp(rng *rand.Rand, gen *workload.Generator, s *workload.Seed) *workload.Seed {
+	op := gen.Op()
+	if len(s.Ops) > 0 && rng.Intn(2) == 0 {
+		op.Key = s.Ops[rng.Intn(len(s.Ops))].Key
+	}
+	pos := 0
+	if len(s.Ops) > 0 {
+		pos = rng.Intn(len(s.Ops) + 1)
+	}
+	s.Ops = append(s.Ops[:pos], append([]workload.Op{op}, s.Ops[pos:]...)...)
+	return s
+}
+
+// deleteOp removes an arbitrary operation.
+func (m *OpMutator) deleteOp(rng *rand.Rand, s *workload.Seed) *workload.Seed {
+	if len(s.Ops) <= 1 {
+		return s
+	}
+	i := rng.Intn(len(s.Ops))
+	s.Ops = append(s.Ops[:i], s.Ops[i+1:]...)
+	return s
+}
+
+// shuffle permutes operations; the seed's Split then redistributes them to
+// threads.
+func (m *OpMutator) shuffle(rng *rand.Rand, s *workload.Seed) *workload.Seed {
+	rng.Shuffle(len(s.Ops), func(i, j int) { s.Ops[i], s.Ops[j] = s.Ops[j], s.Ops[i] })
+	return s
+}
+
+// merge splices two seeds into a new one.
+func (m *OpMutator) merge(rng *rand.Rand, a, b *workload.Seed) *workload.Seed {
+	cut := 0
+	if len(a.Ops) > 0 {
+		cut = rng.Intn(len(a.Ops) + 1)
+	}
+	out := &workload.Seed{Threads: a.Threads}
+	out.Ops = append(out.Ops, a.Ops[:cut]...)
+	out.Ops = append(out.Ops, b.Ops...)
+	if len(out.Ops) > 4*m.OpsPerSeed {
+		out.Ops = out.Ops[:4*m.OpsPerSeed]
+	}
+	return out
+}
+
+// ByteMutator is the AFL++-default-style baseline (paper §6.5, Table 4): it
+// havoc-mutates the text encoding of a seed byte by byte and re-parses the
+// result. Unlike the operation mutator it has no knowledge of command
+// syntax, so roughly a third of its outputs fail input parsing ("Error"
+// commands).
+type ByteMutator struct {
+	Threads int
+}
+
+// Mutate implements Mutator.
+func (b *ByteMutator) Mutate(rng *rand.Rand, corpus []*workload.Seed) *workload.Seed {
+	threads := b.Threads
+	if threads <= 0 {
+		threads = 4
+	}
+	var text []byte
+	if len(corpus) == 0 {
+		gen := workload.NewGenerator(rng.Int63(), 16, threads)
+		text = []byte(gen.NewSeed(32).Encode())
+	} else {
+		text = []byte(corpus[rng.Intn(len(corpus))].Encode())
+	}
+	if len(text) == 0 {
+		text = []byte("get key000\n")
+	}
+	// AFL-style havoc: a burst of random byte edits.
+	for n := 1 + rng.Intn(8); n > 0; n-- {
+		switch rng.Intn(3) {
+		case 0: // flip/replace a byte
+			text[rng.Intn(len(text))] = byte(rng.Intn(256))
+		case 1: // insert a byte
+			i := rng.Intn(len(text) + 1)
+			text = append(text[:i], append([]byte{byte(rng.Intn(256))}, text[i:]...)...)
+		default: // delete a byte
+			if len(text) > 1 {
+				i := rng.Intn(len(text))
+				text = append(text[:i], text[i+1:]...)
+			}
+		}
+	}
+	return workload.Decode(string(text), threads)
+}
+
+var (
+	_ Mutator = (*OpMutator)(nil)
+	_ Mutator = (*ByteMutator)(nil)
+)

@@ -1,0 +1,327 @@
+package pmdk
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/taint"
+)
+
+const poolSize = 256 << 10
+
+func setup(t *testing.T) (*rt.Env, *rt.Thread, *ObjPool) {
+	t.Helper()
+	env := rt.NewEnv(pmem.New(poolSize), rt.Config{})
+	th := env.Spawn()
+	return env, th, Create(th)
+}
+
+func TestCreateFormatsPool(t *testing.T) {
+	env, th, _ := setup(t)
+	magic, _ := th.Load64(offMagic)
+	if magic != Magic {
+		t.Fatalf("magic = %#x", magic)
+	}
+	if !env.Pool().PersistedEquals(0, HeapBase) {
+		t.Fatalf("header must be fully persisted after Create")
+	}
+}
+
+func TestOpenRejectsUnformattedPool(t *testing.T) {
+	env := rt.NewEnv(pmem.New(poolSize), rt.Config{})
+	th := env.Spawn()
+	if _, err := Open(th); !errors.Is(err, ErrNotFormatted) {
+		t.Fatalf("err = %v, want ErrNotFormatted", err)
+	}
+}
+
+func TestOpenFormattedPool(t *testing.T) {
+	env, _, _ := setup(t)
+	img := env.Pool().CrashImage()
+	env2 := rt.NewEnv(pmem.FromImage(img), rt.Config{})
+	th2 := env2.Spawn()
+	if _, err := Open(th2); err != nil {
+		t.Fatalf("Open failed: %v", err)
+	}
+}
+
+func TestAllocAdvancesAndPersists(t *testing.T) {
+	env, th, p := setup(t)
+	a, err := p.Alloc(th, 100)
+	if err != nil || a != HeapBase {
+		t.Fatalf("first alloc = %d, %v", a, err)
+	}
+	b, err := p.Alloc(th, 10)
+	if err != nil || b <= a {
+		t.Fatalf("second alloc = %d, %v", b, err)
+	}
+	if b%pmem.LineSize != 0 {
+		t.Fatalf("allocations must be line aligned, got %d", b)
+	}
+	if !env.Pool().PersistedEquals(offHeapTop, 8) {
+		t.Fatalf("heap top must be persisted after Alloc")
+	}
+	if p.HeapUsed(th) != 192 {
+		t.Fatalf("heap used = %d, want 192 (two line-rounded allocs)", p.HeapUsed(th))
+	}
+}
+
+func TestAllocOutOfMemory(t *testing.T) {
+	_, th, p := setup(t)
+	if _, err := p.Alloc(th, poolSize); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestRootRoundTrip(t *testing.T) {
+	_, th, p := setup(t)
+	off, _ := p.Alloc(th, 64)
+	p.SetRoot(th, off)
+	got, _ := p.Root(th)
+	if got != off {
+		t.Fatalf("root = %d, want %d", got, off)
+	}
+}
+
+func TestTxCommitKeepsChanges(t *testing.T) {
+	env, th, p := setup(t)
+	obj, _ := p.Alloc(th, 64)
+	th.Store64(obj, 1, taint.None, taint.None)
+	th.Persist(obj, 8)
+
+	tx := p.Begin(th)
+	if err := tx.AddRange(obj, 8); err != nil {
+		t.Fatalf("AddRange: %v", err)
+	}
+	th.Store64(obj, 2, taint.None, taint.None)
+	tx.Commit()
+
+	// Crash after commit: the new value must survive.
+	img := env.Pool().CrashImage()
+	env2 := rt.NewEnv(pmem.FromImage(img), rt.Config{})
+	th2 := env2.Spawn()
+	if _, err := Open(th2); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if v, _ := th2.Load64(obj); v != 2 {
+		t.Fatalf("value after commit+crash = %d, want 2", v)
+	}
+}
+
+func TestTxCrashBeforeCommitReverts(t *testing.T) {
+	env, th, p := setup(t)
+	obj, _ := p.Alloc(th, 64)
+	th.Store64(obj, 1, taint.None, taint.None)
+	th.Persist(obj, 8)
+
+	tx := p.Begin(th)
+	if err := tx.AddRange(obj, 8); err != nil {
+		t.Fatalf("AddRange: %v", err)
+	}
+	th.Store64(obj, 2, taint.None, taint.None)
+	th.Persist(obj, 8) // even persisted, recovery must revert it
+
+	img := env.Pool().CrashImage() // crash before Commit
+	env2 := rt.NewEnv(pmem.FromImage(img), rt.Config{})
+	th2 := env2.Spawn()
+	if _, err := Open(th2); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if v, _ := th2.Load64(obj); v != 1 {
+		t.Fatalf("value after crash = %d, want reverted 1", v)
+	}
+	if active, _ := th2.Load64(offTxActive); active != 0 {
+		t.Fatalf("recovery must clear the active flag")
+	}
+}
+
+func TestTxAllocRolledBackOnCrash(t *testing.T) {
+	env, th, p := setup(t)
+	topBefore, _ := th.Load64(offHeapTop)
+
+	tx := p.Begin(th)
+	if _, err := tx.Alloc(128); err != nil {
+		t.Fatalf("tx alloc: %v", err)
+	}
+	// Crash before commit: heap top must roll back (no PM leak).
+	img := env.Pool().CrashImage()
+	env2 := rt.NewEnv(pmem.FromImage(img), rt.Config{})
+	th2 := env2.Spawn()
+	if _, err := Open(th2); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	topAfter, _ := th2.Load64(offHeapTop)
+	if topAfter != topBefore {
+		t.Fatalf("heap top = %d, want rolled back to %d", topAfter, topBefore)
+	}
+}
+
+func TestTxAllocCommitted(t *testing.T) {
+	env, th, p := setup(t)
+	tx := p.Begin(th)
+	off, err := tx.Alloc(128)
+	if err != nil {
+		t.Fatalf("tx alloc: %v", err)
+	}
+	tx.Commit()
+	img := env.Pool().CrashImage()
+	env2 := rt.NewEnv(pmem.FromImage(img), rt.Config{})
+	th2 := env2.Spawn()
+	if _, err := Open(th2); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	top, _ := th2.Load64(offHeapTop)
+	if top <= off {
+		t.Fatalf("committed allocation lost: top=%d off=%d", top, off)
+	}
+}
+
+func TestTxAbortRevertsImmediately(t *testing.T) {
+	_, th, p := setup(t)
+	obj, _ := p.Alloc(th, 64)
+	th.Store64(obj, 5, taint.None, taint.None)
+	th.Persist(obj, 8)
+	tx := p.Begin(th)
+	tx.AddRange(obj, 8)
+	th.Store64(obj, 6, taint.None, taint.None)
+	tx.Abort()
+	if v, _ := th.Load64(obj); v != 5 {
+		t.Fatalf("abort must revert: got %d", v)
+	}
+	// Pool must be reusable after abort.
+	tx2 := p.Begin(th)
+	tx2.Commit()
+}
+
+func TestTxAddRangeLimits(t *testing.T) {
+	_, th, p := setup(t)
+	tx := p.Begin(th)
+	defer tx.Commit()
+	if err := tx.AddRange(HeapBase, maxUndoRange+1); err == nil {
+		t.Fatalf("oversized AddRange must fail")
+	}
+	for i := 0; i < maxUndoEnts; i++ {
+		if err := tx.AddRange(HeapBase+pmem.Addr(i*8), 8); err != nil {
+			t.Fatalf("AddRange %d: %v", i, err)
+		}
+	}
+	if err := tx.AddRange(HeapBase, 8); err == nil {
+		t.Fatalf("undo log overflow must fail")
+	}
+}
+
+func TestTxClosedOperationsFail(t *testing.T) {
+	_, th, p := setup(t)
+	tx := p.Begin(th)
+	tx.Commit()
+	if err := tx.AddRange(HeapBase, 8); err == nil {
+		t.Fatalf("AddRange on closed tx must fail")
+	}
+	if _, err := tx.Alloc(64); err == nil {
+		t.Fatalf("Alloc on closed tx must fail")
+	}
+	tx.Commit() // must be a no-op, not a double unlock
+	tx.Abort()  // likewise
+}
+
+func TestMultipleUndoRangesRevertInOrder(t *testing.T) {
+	env, th, p := setup(t)
+	obj, _ := p.Alloc(th, 64)
+	th.Store64(obj, 10, taint.None, taint.None)
+	th.Store64(obj+8, 20, taint.None, taint.None)
+	th.Persist(obj, 16)
+	tx := p.Begin(th)
+	tx.AddRange(obj, 8)
+	th.Store64(obj, 11, taint.None, taint.None)
+	tx.AddRange(obj+8, 8)
+	th.Store64(obj+8, 21, taint.None, taint.None)
+	th.Persist(obj, 16)
+	img := env.Pool().CrashImage()
+	env2 := rt.NewEnv(pmem.FromImage(img), rt.Config{})
+	th2 := env2.Spawn()
+	Open(th2)
+	a, _ := th2.Load64(obj)
+	b, _ := th2.Load64(obj + 8)
+	if a != 10 || b != 20 {
+		t.Fatalf("recovered = %d %d, want 10 20", a, b)
+	}
+}
+
+func TestTxAllocDirtyHeapTopIsWhitelistableCandidate(t *testing.T) {
+	env, th, p := setup(t)
+	tx := p.Begin(th)
+	if _, err := tx.Alloc(64); err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	// A second transactional allocation reads the unpersisted heap top:
+	// an intra-thread candidate whose stack contains the whitelisted
+	// frame.
+	if _, err := tx.Alloc(64); err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	tx.Commit()
+	if got := len(env.Detector().Candidates()); got == 0 {
+		t.Fatalf("transactional allocation must create candidates")
+	}
+}
+
+func TestDefaultWhitelistCoversTxAlloc(t *testing.T) {
+	found := false
+	for _, e := range DefaultWhitelist() {
+		if e == "pmdk.(*Tx).Alloc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("default whitelist must cover transactional allocation: %v", DefaultWhitelist())
+	}
+}
+
+func TestAllocRedoCrashConsistent(t *testing.T) {
+	env, th, p := setup(t)
+	off, err := p.AllocRedo(th, 128)
+	if err != nil {
+		t.Fatalf("alloc redo: %v", err)
+	}
+	// The bump pointer is dirty (unpersisted), but the redo slot is
+	// durable: after a crash, Open must replay it so the allocation is
+	// not handed out twice.
+	img := env.Pool().CrashImage()
+	env2 := rt.NewEnv(pmem.FromImage(img), rt.Config{})
+	th2 := env2.Spawn()
+	p2, err := Open(th2)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	off2, err := p2.AllocRedo(th2, 128)
+	if err != nil {
+		t.Fatalf("alloc after recovery: %v", err)
+	}
+	if off2 <= off {
+		t.Fatalf("recovered allocator reused space: %d then %d", off, off2)
+	}
+}
+
+func TestAllocRedoDirtyBumpIsCandidate(t *testing.T) {
+	env, th, p := setup(t)
+	if _, err := p.AllocRedo(th, 64); err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	th2 := env.Spawn()
+	if _, err := p.AllocRedo(th2, 64); err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	inter, _ := env.Detector().CandidateCounts()
+	if inter == 0 {
+		t.Fatalf("cross-thread AllocRedo must create inter candidates")
+	}
+}
+
+func TestAllocRedoOutOfMemory(t *testing.T) {
+	_, th, p := setup(t)
+	if _, err := p.AllocRedo(th, poolSize); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v", err)
+	}
+}

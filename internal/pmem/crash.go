@@ -1,0 +1,89 @@
+package pmem
+
+// CrashImage returns a copy of the persisted image: the bytes that survive a
+// power failure at this instant. Everything still sitting in the volatile
+// cache overlay is lost, exactly as under the ADR failure model assumed by
+// the paper (§3.1).
+func (p *Pool) CrashImage() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	img := make([]byte, p.size)
+	copy(img, p.persisted)
+	return img
+}
+
+// CrashImageWith returns a crash image in which the given ranges are taken
+// from the cache image instead of the persisted image. PMRace uses it to
+// construct the adversarial crash point for a detected inconsistency: the
+// durable side effect has reached PM (its flush completed) while the
+// non-persisted data it depends on has not (paper Figure 3).
+func (p *Pool) CrashImageWith(extra []Range) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	img := make([]byte, p.size)
+	copy(img, p.persisted)
+	for _, r := range extra {
+		if r.Off+r.Len > p.size {
+			continue
+		}
+		copy(img[r.Off:r.End()], p.cache[r.Off:r.End()])
+	}
+	return img
+}
+
+// Snapshot is a deep copy of a pool's full state, used to implement the
+// in-memory checkpoints that replace AFL++'s fork server (paper §5): a fuzz
+// campaign restores the snapshot taken right after pool initialization
+// instead of re-initializing the pool.
+type Snapshot struct {
+	size      uint64
+	cache     []byte
+	persisted []byte
+	meta      []WordMeta
+	shadow    []uint32
+	eadr      bool
+}
+
+// Snapshot captures the pool's current cache image, persisted image and
+// per-word metadata. Pending (flushed but unfenced) lines are not captured;
+// checkpoints are taken at quiescent points where no flush is in flight.
+func (p *Pool) Snapshot() *Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := &Snapshot{
+		size:      p.size,
+		cache:     append([]byte(nil), p.cache...),
+		persisted: append([]byte(nil), p.persisted...),
+		meta:      append([]WordMeta(nil), p.meta...),
+		shadow:    append([]uint32(nil), p.shadow...),
+		eadr:      p.eadr,
+	}
+	return s
+}
+
+// Restore resets the pool to a previously captured snapshot. The last-access
+// records and pending flush sets are cleared: the restored pool behaves like
+// a freshly checkpointed process.
+func (p *Pool) Restore(s *Snapshot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s.size != p.size {
+		panic("pmem: snapshot size mismatch")
+	}
+	copy(p.cache, s.cache)
+	copy(p.persisted, s.persisted)
+	copy(p.meta, s.meta)
+	copy(p.shadow, s.shadow)
+	for i := range p.last {
+		p.last[i] = Accessor{}
+	}
+	p.pending = make(map[ThreadID][]stagedLine)
+}
+
+// NewFromSnapshot creates an independent pool initialized from a snapshot,
+// preserving the source pool's platform options (eADR).
+func NewFromSnapshot(s *Snapshot) *Pool {
+	p := NewWithOptions(s.size, Options{EADR: s.eadr})
+	p.Restore(s)
+	return p
+}

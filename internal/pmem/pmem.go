@@ -1,0 +1,514 @@
+// Package pmem simulates a byte-addressable persistent memory device fronted
+// by volatile write-back CPU caches, following the failure model used by
+// PMRace (ASPLOS '22, §3.1): stores become visible to all threads immediately
+// (coherent caches) but become durable only after an explicit cache-line
+// flush (CLWB/CLFLUSHOPT) followed by a store fence (SFENCE). A crash
+// discards every write that has not reached the persistence domain.
+//
+// The pool keeps two byte arrays: the cache image (what running threads
+// observe) and the persisted image (what survives a crash). Per 8-byte word
+// it additionally tracks the persistency state consumed by the PMRace
+// checkers: a dirty bit, the writing thread, the writing instruction site and
+// a store epoch used to invalidate stale inconsistency-candidate events, plus
+// a shadow taint label and the last-accessor triple used for PM alias pair
+// coverage.
+package pmem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Addr is a byte offset within a pool. Pools are position independent: all
+// recorded addresses are offsets so that crash images can be re-mapped
+// without worrying about address space layout randomization (paper §4.4).
+type Addr = uint64
+
+// ThreadID identifies a simulated thread of the instrumented program.
+// Thread 0 is conventionally the main/setup thread.
+type ThreadID int32
+
+// NoThread marks a word that has never been written.
+const NoThread ThreadID = -1
+
+const (
+	// WordSize is the granularity of persistency-state tracking.
+	WordSize = 8
+	// LineSize is the cache-line granularity of flush operations.
+	LineSize = 64
+)
+
+// Range is a byte range [Off, Off+Len) within a pool.
+type Range struct {
+	Off Addr
+	Len uint64
+}
+
+// End returns the exclusive upper bound of the range.
+func (r Range) End() Addr { return r.Off + r.Len }
+
+// WordMeta is the persistency state of one 8-byte word.
+type WordMeta struct {
+	// Dirty reports whether the word holds data that is visible in the
+	// cache but not yet persisted (PM_DIRTY in the paper).
+	Dirty bool
+	// Writer is the thread that performed the most recent store.
+	Writer ThreadID
+	// Site is the instruction site of the most recent store.
+	Site uint32
+	// Epoch increments on every store to the word. Inconsistency
+	// candidates record the epoch they observed.
+	Epoch uint32
+	// CleanEpoch is the store epoch at the word's most recent transition
+	// to the persisted state. A candidate event with Epoch > CleanEpoch
+	// on a still-dirty word has a continuously non-persisted dependency:
+	// later overwrites do not persist the observed value, only a flush
+	// does.
+	CleanEpoch uint32
+}
+
+// Accessor records the most recent access to a word, used to form PM alias
+// instruction pairs: two back-to-back accesses to the same address by
+// different threads.
+type Accessor struct {
+	Site   uint32
+	Thread ThreadID
+	Dirty  bool
+	Valid  bool
+}
+
+// stagedLine is a cache line captured by a flush and awaiting a fence.
+type stagedLine struct {
+	line   Addr // line-aligned offset
+	data   [LineSize]byte
+	epochs [LineSize / WordSize]uint32
+}
+
+// Pool is a simulated persistent memory pool.
+//
+// All methods are safe for concurrent use. The pool serializes individual
+// accesses with a single mutex: thread interleaving in the simulation happens
+// between hook calls, never inside one, which mirrors the per-instruction
+// atomicity assumed by PMRace's interleaving exploration.
+type Pool struct {
+	mu        sync.Mutex
+	size      uint64
+	cache     []byte
+	persisted []byte
+	meta      []WordMeta
+	shadow    []uint32 // taint label per word
+	last      []Accessor
+	pending   map[ThreadID][]stagedLine
+
+	// stores counts all store operations, used by tests and stats.
+	stores uint64
+	// flushes and fences count persistency operations.
+	flushes uint64
+	fences  uint64
+
+	evictRNG  *rand.Rand
+	evictProb float64
+	eadr      bool
+}
+
+// Options configure pool construction.
+type Options struct {
+	// EvictProb, when positive, enables random cache eviction: on each
+	// store, with this probability one dirty line is written back to the
+	// persisted image. Eviction does not clear the dirty bit because the
+	// program cannot rely on it (the paper's checkers conservatively
+	// treat unflushed data as non-persisted).
+	EvictProb float64
+	// EvictSeed seeds the eviction RNG for reproducibility.
+	EvictSeed int64
+	// EADR models a platform with extended ADR (paper §6.6): CPU caches
+	// are battery-backed and inside the persistence domain, so every
+	// store is durable at visibility and no word is ever dirty. PM
+	// Inter-thread Inconsistency cannot occur; PM Synchronization
+	// Inconsistency still can — locks persisted in PM outlive the
+	// threads that held them regardless of cache durability.
+	EADR bool
+}
+
+// New creates a zeroed pool of the given size in bytes. The size is rounded
+// up to a multiple of the cache-line size.
+func New(size uint64) *Pool { return NewWithOptions(size, Options{}) }
+
+// NewWithOptions creates a pool with explicit options.
+func NewWithOptions(size uint64, opt Options) *Pool {
+	if size == 0 {
+		size = LineSize
+	}
+	if rem := size % LineSize; rem != 0 {
+		size += LineSize - rem
+	}
+	p := &Pool{
+		size:      size,
+		cache:     make([]byte, size),
+		persisted: make([]byte, size),
+		meta:      make([]WordMeta, size/WordSize),
+		shadow:    make([]uint32, size/WordSize),
+		last:      make([]Accessor, size/WordSize),
+		pending:   make(map[ThreadID][]stagedLine),
+	}
+	for i := range p.meta {
+		p.meta[i].Writer = NoThread
+	}
+	if opt.EvictProb > 0 {
+		p.evictProb = opt.EvictProb
+		p.evictRNG = rand.New(rand.NewSource(opt.EvictSeed))
+	}
+	p.eadr = opt.EADR
+	return p
+}
+
+// EADR reports whether the pool models battery-backed (persistent) caches.
+func (p *Pool) EADR() bool { return p.eadr }
+
+// FromImage creates a pool whose cache and persisted images both equal the
+// given crash image, as if the file had been re-mapped after a restart. All
+// words start clean with no writer, matching a freshly mapped file.
+func FromImage(img []byte) *Pool {
+	p := New(uint64(len(img)))
+	copy(p.cache, img)
+	copy(p.persisted, img)
+	return p
+}
+
+// Size returns the pool size in bytes.
+func (p *Pool) Size() uint64 { return p.size }
+
+func (p *Pool) check(addr Addr, n uint64) {
+	if addr+n > p.size || addr+n < addr {
+		panic(fmt.Sprintf("pmem: access [%#x,%#x) out of pool bounds %#x", addr, addr+n, p.size))
+	}
+}
+
+func lineOf(addr Addr) Addr { return addr &^ (LineSize - 1) }
+
+// Load64 reads an 8-byte little-endian word from the cache image.
+func (p *Pool) Load64(addr Addr) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, 8)
+	return le64(p.cache[addr:])
+}
+
+// LoadBytes copies n bytes starting at addr from the cache image.
+func (p *Pool) LoadBytes(addr Addr, n uint64) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, n)
+	out := make([]byte, n)
+	copy(out, p.cache[addr:addr+n])
+	return out
+}
+
+// Store64 writes an 8-byte word to the cache image and marks the containing
+// words dirty on behalf of thread t at instruction site.
+func (p *Pool) Store64(t ThreadID, site uint32, addr Addr, val uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, 8)
+	putLE64(p.cache[addr:], val)
+	p.markStored(t, site, addr, 8)
+	p.maybeEvict()
+}
+
+// StoreBytes writes data to the cache image and marks the covered words
+// dirty.
+func (p *Pool) StoreBytes(t ThreadID, site uint32, addr Addr, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, uint64(len(data)))
+	copy(p.cache[addr:], data)
+	p.markStored(t, site, addr, uint64(len(data)))
+	p.maybeEvict()
+}
+
+// NTStore64 performs a non-temporal store: the write bypasses the cache
+// hierarchy and is considered persisted immediately (PM_CLEAN per the paper's
+// checker semantics). The value still becomes visible in the cache image.
+func (p *Pool) NTStore64(t ThreadID, site uint32, addr Addr, val uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, 8)
+	putLE64(p.cache[addr:], val)
+	putLE64(p.persisted[addr:], val)
+	p.markNT(t, site, addr, 8)
+}
+
+// NTStoreBytes performs a non-temporal store of a byte range.
+func (p *Pool) NTStoreBytes(t ThreadID, site uint32, addr Addr, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, uint64(len(data)))
+	copy(p.cache[addr:], data)
+	copy(p.persisted[addr:], data)
+	p.markNT(t, site, addr, uint64(len(data)))
+}
+
+// CAS64 performs an atomic compare-and-swap on a word, returning whether the
+// swap happened and the value observed. A successful CAS is a store (the
+// word becomes dirty); a failed CAS is only a load.
+func (p *Pool) CAS64(t ThreadID, site uint32, addr Addr, old, new uint64) (bool, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, 8)
+	cur := le64(p.cache[addr:])
+	if cur != old {
+		return false, cur
+	}
+	putLE64(p.cache[addr:], new)
+	p.markStored(t, site, addr, 8)
+	return true, cur
+}
+
+// Flush simulates CLWB over the cache lines covering [addr, addr+n): the
+// current cache contents of each line are staged on thread t and will reach
+// the persistence domain at t's next Fence. Words stored after the flush but
+// before the fence keep their dirty state (their epoch advanced).
+func (p *Pool) Flush(t ThreadID, addr Addr, n uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, n)
+	p.flushes++
+	for line := lineOf(addr); line < addr+n; line += LineSize {
+		var s stagedLine
+		s.line = line
+		copy(s.data[:], p.cache[line:line+LineSize])
+		for w := 0; w < LineSize/WordSize; w++ {
+			s.epochs[w] = p.meta[(line+Addr(w*WordSize))/WordSize].Epoch
+		}
+		p.pending[t] = append(p.pending[t], s)
+	}
+}
+
+// Fence simulates SFENCE on thread t: every line staged by t's previous
+// flushes is committed to the persisted image, and each word whose epoch is
+// unchanged since the flush becomes clean.
+func (p *Pool) Fence(t ThreadID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fences++
+	for _, s := range p.pending[t] {
+		copy(p.persisted[s.line:s.line+LineSize], s.data[:])
+		for w := 0; w < LineSize/WordSize; w++ {
+			wi := (s.line + Addr(w*WordSize)) / WordSize
+			if p.meta[wi].Epoch == s.epochs[w] {
+				p.meta[wi].Dirty = false
+				p.meta[wi].CleanEpoch = p.meta[wi].Epoch
+			}
+		}
+	}
+	delete(p.pending, t)
+}
+
+// PersistNow force-persists a byte range, marking its words clean. It models
+// flush immediately followed by fence and is used by recovery code and tests.
+func (p *Pool) PersistNow(t ThreadID, addr Addr, n uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, n)
+	p.flushes++
+	p.fences++
+	for line := lineOf(addr); line < addr+n; line += LineSize {
+		copy(p.persisted[line:line+LineSize], p.cache[line:line+LineSize])
+		for w := 0; w < LineSize/WordSize; w++ {
+			m := &p.meta[(line+Addr(w*WordSize))/WordSize]
+			m.Dirty = false
+			m.CleanEpoch = m.Epoch
+		}
+	}
+}
+
+func (p *Pool) markStored(t ThreadID, site uint32, addr Addr, n uint64) {
+	if p.eadr {
+		// Persistent caches: every store is durable at visibility.
+		from, to := addr&^(WordSize-1), ((addr+n-1)|(WordSize-1))+1
+		copy(p.persisted[from:to], p.cache[from:to])
+		p.markNT(t, site, addr, n)
+		return
+	}
+	p.stores++
+	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
+		m := &p.meta[wi]
+		m.Dirty = true
+		m.Writer = t
+		m.Site = site
+		m.Epoch++
+	}
+}
+
+func (p *Pool) markNT(t ThreadID, site uint32, addr Addr, n uint64) {
+	p.stores++
+	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
+		m := &p.meta[wi]
+		m.Dirty = false
+		m.Writer = t
+		m.Site = site
+		m.Epoch++
+		m.CleanEpoch = m.Epoch
+	}
+}
+
+func (p *Pool) maybeEvict() {
+	if p.evictRNG == nil || p.evictRNG.Float64() >= p.evictProb {
+		return
+	}
+	// Pick a random line; if it contains dirty words, write it back.
+	// The dirty bits stay set: programs must not depend on eviction.
+	line := Addr(p.evictRNG.Int63n(int64(p.size/LineSize))) * LineSize
+	for w := 0; w < LineSize/WordSize; w++ {
+		if p.meta[(line+Addr(w*WordSize))/WordSize].Dirty {
+			copy(p.persisted[line:line+LineSize], p.cache[line:line+LineSize])
+			return
+		}
+	}
+}
+
+// WordState returns the persistency state of the word containing addr.
+func (p *Pool) WordState(addr Addr) WordMeta {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, 1)
+	return p.meta[addr/WordSize]
+}
+
+// WordDirtyRange reports whether any word covering [addr, addr+n) is dirty
+// and, if so, returns that word's state and word-aligned address.
+func (p *Pool) WordDirtyRange(addr Addr, n uint64) (WordMeta, Addr, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, n)
+	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
+		if p.meta[wi].Dirty {
+			return p.meta[wi], wi * WordSize, true
+		}
+	}
+	return WordMeta{}, 0, false
+}
+
+// ShadowLabel returns the taint label stored for the word containing addr.
+func (p *Pool) ShadowLabel(addr Addr) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, 1)
+	return p.shadow[addr/WordSize]
+}
+
+// SetShadowLabel stores a taint label for every word covering [addr, addr+n).
+func (p *Pool) SetShadowLabel(addr Addr, n uint64, label uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, n)
+	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
+		p.shadow[wi] = label
+	}
+}
+
+// ShadowLabelRange returns the shadow labels of all words covering the range,
+// deduplicated, excluding zero.
+func (p *Pool) ShadowLabelRange(addr Addr, n uint64) []uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, n)
+	var out []uint32
+	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
+		l := p.shadow[wi]
+		if l == 0 {
+			continue
+		}
+		dup := false
+		for _, e := range out {
+			if e == l {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// SwapAccessor atomically replaces the last-accessor record of the word
+// containing addr and returns the previous record. The runtime uses it to
+// form PM alias pairs.
+func (p *Pool) SwapAccessor(addr Addr, a Accessor) Accessor {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, 1)
+	wi := addr / WordSize
+	prev := p.last[wi]
+	p.last[wi] = a
+	return prev
+}
+
+// EpochAt returns the store epoch of the word containing addr.
+func (p *Pool) EpochAt(addr Addr) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, 1)
+	return p.meta[addr/WordSize].Epoch
+}
+
+// Stats returns operation counters: stores, flushes and fences performed.
+func (p *Pool) Stats() (stores, flushes, fences uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stores, p.flushes, p.fences
+}
+
+// PersistedEquals reports whether the persisted image of [addr, addr+n)
+// equals the cache image, i.e. whether the range is fully durable.
+func (p *Pool) PersistedEquals(addr Addr, n uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, n)
+	for i := addr; i < addr+n; i++ {
+		if p.cache[i] != p.persisted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PersistedLoad64 reads a word from the persisted image (what a crash would
+// preserve), bypassing the cache. Tests and validators use it.
+func (p *Pool) PersistedLoad64(addr Addr) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, 8)
+	return le64(p.persisted[addr:])
+}
+
+// PersistedBytes copies n bytes starting at addr from the persisted image.
+func (p *Pool) PersistedBytes(addr Addr, n uint64) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.check(addr, n)
+	out := make([]byte, n)
+	copy(out, p.persisted[addr:addr+n])
+	return out
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,224 @@
+// Package rt is the instrumentation runtime of the reproduction: the
+// in-simulation equivalent of the hook library that PMRace's LLVM pass links
+// into the program under test (paper §4.1 step 1, §5). PM programs written
+// against this package perform every persistent-memory access through Thread
+// hook methods (Load64, Store64, NTStore64, Flush, Fence, CAS64, byte-range
+// variants) and report control flow through Branch. The hooks:
+//
+//   - maintain the pool's persistency states and shadow taint labels;
+//   - detect inconsistency candidates (reads of PM_DIRTY data) and durable
+//     side effects (stores whose value or address is tainted), delegating to
+//     the core detector;
+//   - record PM alias pair and branch coverage;
+//   - record per-address access statistics for the priority queue;
+//   - call into the interleaving-exploration strategy around each access;
+//   - watch for hangs in spin-lock acquisition.
+package rt
+
+import (
+	"sync"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/cover"
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/sched"
+	"github.com/pmrace-go/pmrace/internal/site"
+	"github.com/pmrace-go/pmrace/internal/taint"
+)
+
+// Config configures an execution environment.
+type Config struct {
+	// Strategy is the interleaving exploration strategy; nil means
+	// sched.None.
+	Strategy sched.Strategy
+	// HangTimeout bounds spin-lock acquisition; a thread spinning longer
+	// is reported as hung. Zero selects a default suitable for tests.
+	HangTimeout time.Duration
+	// OnInconsistency, when set, is invoked synchronously at the moment a
+	// durable side effect based on non-persisted data is detected, while
+	// the pool still reflects the buggy state; the fuzzer uses it to
+	// duplicate the pool at the crash point (paper §4.4).
+	OnInconsistency func(*Env, *core.Inconsistency)
+	// OnSync is the synchronization-inconsistency analogue.
+	OnSync func(*Env, *core.SyncInconsistency)
+	// OnHang is invoked when a spin lock exceeds HangTimeout.
+	OnHang func(*Env, HangReport)
+	// CollectStats enables per-address access statistics (needed to build
+	// the priority queue; costs memory on large pools).
+	CollectStats bool
+	// TraceDepth, when positive, records the last TraceDepth PM accesses
+	// in a ring buffer; bug reports attach the tail as interleaving
+	// evidence.
+	TraceDepth int
+}
+
+// HangReport describes a hung lock acquisition.
+type HangReport struct {
+	Thread pmem.ThreadID
+	Addr   pmem.Addr
+	Site   string
+	Stack  []string
+}
+
+// Env is one instrumented execution environment: a pool plus the detection
+// and exploration machinery shared by all threads of a fuzz campaign
+// execution.
+type Env struct {
+	pool   *pmem.Pool
+	labels *taint.Table
+	det    *core.Detector
+	cov    *cover.Coverage
+	strat  sched.Strategy
+	cfg    Config
+
+	statsMu sync.Mutex
+	stats   map[pmem.Addr]*sched.AddrStats
+
+	trace *traceRing
+
+	recMu    sync.Mutex
+	recordOn bool
+	written  map[pmem.Addr]struct{} // word-aligned offsets overwritten
+
+	threadsMu sync.Mutex
+	nextTID   pmem.ThreadID
+}
+
+// NewEnv creates an environment over the given pool.
+func NewEnv(pool *pmem.Pool, cfg Config) *Env {
+	if cfg.Strategy == nil {
+		cfg.Strategy = sched.None{}
+	}
+	if cfg.HangTimeout <= 0 {
+		cfg.HangTimeout = 250 * time.Millisecond
+	}
+	labels := taint.NewTable()
+	e := &Env{
+		pool:   pool,
+		labels: labels,
+		det:    core.NewDetector(labels),
+		cov:    cover.New(),
+		strat:  cfg.Strategy,
+		cfg:    cfg,
+		stats:  make(map[pmem.Addr]*sched.AddrStats),
+	}
+	if cfg.TraceDepth > 0 {
+		e.trace = newTraceRing(cfg.TraceDepth)
+	}
+	return e
+}
+
+// Pool returns the environment's pool.
+func (e *Env) Pool() *pmem.Pool { return e.pool }
+
+// Detector returns the environment's PM checkers.
+func (e *Env) Detector() *core.Detector { return e.det }
+
+// Coverage returns the environment's coverage maps.
+func (e *Env) Coverage() *cover.Coverage { return e.cov }
+
+// Labels returns the environment's taint table.
+func (e *Env) Labels() *taint.Table { return e.labels }
+
+// Strategy returns the interleaving strategy in use.
+func (e *Env) Strategy() sched.Strategy { return e.strat }
+
+// BeginExec notifies the strategy that an execution with n worker threads is
+// starting.
+func (e *Env) BeginExec(n int) { e.strat.BeginExec(n) }
+
+// EndExec notifies the strategy that the execution finished.
+func (e *Env) EndExec() { e.strat.EndExec() }
+
+// Spawn allocates the next thread handle and registers it with the strategy.
+func (e *Env) Spawn() *Thread {
+	e.threadsMu.Lock()
+	id := e.nextTID
+	e.nextTID++
+	e.threadsMu.Unlock()
+	e.strat.ThreadStart(id)
+	return &Thread{ID: id, env: e}
+}
+
+// AnnotateSyncVar registers a persistent synchronization variable annotation
+// (the pm_sync_var_hint equivalent, paper §5).
+func (e *Env) AnnotateSyncVar(v core.SyncVar) { e.det.AnnotateSyncVar(v) }
+
+// Stats returns the per-address access statistics collected so far.
+func (e *Env) Stats() map[pmem.Addr]*sched.AddrStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	out := make(map[pmem.Addr]*sched.AddrStats, len(e.stats))
+	for a, st := range e.stats {
+		c := sched.NewAddrStats()
+		c.Merge(st)
+		out[a] = c
+	}
+	return out
+}
+
+func (e *Env) recordStat(t pmem.ThreadID, addr pmem.Addr, s site.ID, isStore bool) {
+	if !e.cfg.CollectStats {
+		return
+	}
+	e.statsMu.Lock()
+	st, ok := e.stats[addr]
+	if !ok {
+		st = sched.NewAddrStats()
+		e.stats[addr] = st
+	}
+	st.Record(t, s, isStore)
+	e.statsMu.Unlock()
+}
+
+// EnableWriteRecorder starts recording every word offset written through the
+// hooks; post-failure validation uses it to check whether recovery overwrote
+// the durable side effects of a detected inconsistency.
+func (e *Env) EnableWriteRecorder() {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
+	e.recordOn = true
+	e.written = make(map[pmem.Addr]struct{})
+}
+
+// WrittenWords returns the recorded word-aligned offsets.
+func (e *Env) WrittenWords() map[pmem.Addr]struct{} {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
+	out := make(map[pmem.Addr]struct{}, len(e.written))
+	for a := range e.written {
+		out[a] = struct{}{}
+	}
+	return out
+}
+
+// RangeOverwritten reports whether every word of the range was overwritten
+// since EnableWriteRecorder.
+func (e *Env) RangeOverwritten(r pmem.Range) bool {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
+	if !e.recordOn {
+		return false
+	}
+	if r.Len == 0 {
+		return true
+	}
+	for w := r.Off / pmem.WordSize; w <= (r.End()-1)/pmem.WordSize; w++ {
+		if _, ok := e.written[w*pmem.WordSize]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Env) recordWrite(addr pmem.Addr, n uint64) {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
+	if !e.recordOn || n == 0 {
+		return
+	}
+	for w := addr / pmem.WordSize; w <= (addr+n-1)/pmem.WordSize; w++ {
+		e.written[w*pmem.WordSize] = struct{}{}
+	}
+}

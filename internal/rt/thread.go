@@ -1,0 +1,392 @@
+package rt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/cover"
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/site"
+	"github.com/pmrace-go/pmrace/internal/taint"
+)
+
+// Thread is the hook handle one simulated program thread uses for every PM
+// access. Each hook call site is one "instrumented instruction": the hook
+// resolves its caller to a site ID that plays the role of PMRace's LLVM
+// instruction ID.
+//
+// A Thread is used by a single goroutine.
+type Thread struct {
+	// ID is the simulated thread ID; it appears in the paper's
+	// (instruction, persistency state, thread) access triples.
+	ID  pmem.ThreadID
+	env *Env
+
+	branchPrev uint32
+}
+
+// Env returns the environment the thread runs in.
+func (t *Thread) Env() *Env { return t.env }
+
+// Exit unregisters the thread from the interleaving strategy.
+func (t *Thread) Exit() { t.env.strat.ThreadExit(t.ID) }
+
+// HangError is panicked when a spin lock exceeds the hang timeout; the
+// campaign executor recovers it and records a hang (e.g. a deadlock from a
+// conventional concurrency bug, or a never-released persistent lock after
+// recovery).
+type HangError struct{ Report HangReport }
+
+// Error implements error.
+func (h HangError) Error() string {
+	return fmt.Sprintf("rt: thread %d hung acquiring lock at PM offset %#x (%s)", h.Report.Thread, h.Report.Addr, h.Report.Site)
+}
+
+// --- loads ---
+
+// Load64 performs an instrumented 8-byte PM load. It returns the loaded
+// value and its taint label: the union of the shadow label of the stored
+// value and, when the word is dirty, a fresh label for the inconsistency
+// candidate created by this read (paper §4.3, "PM Inter-thread Inconsistency
+// Candidate" checker).
+func (t *Thread) Load64(addr pmem.Addr) (uint64, taint.Label) {
+	s := site.Here(0)
+	return t.load64At(addr, s)
+}
+
+func (t *Thread) load64At(addr pmem.Addr, s site.ID) (uint64, taint.Label) {
+	e := t.env
+	e.strat.BeforeLoad(t.ID, addr, s)
+	e.recordStat(t.ID, addr, s, false)
+	e.traceAccess(t.ID, AccLoad, addr, s)
+	meta := e.pool.WordState(addr)
+	t.aliasPair(addr, s, meta.Dirty)
+	lab := taint.Label(e.pool.ShadowLabel(addr))
+	if meta.Dirty && meta.Writer != pmem.NoThread {
+		ev := taint.Event{
+			Addr:      addr &^ (pmem.WordSize - 1),
+			Epoch:     meta.Epoch,
+			WriteSite: meta.Site,
+			ReadSite:  uint32(s),
+			Writer:    int32(meta.Writer),
+			Reader:    int32(t.ID),
+		}
+		lab = e.labels.Union(lab, e.det.OnDirtyRead(ev))
+	}
+	return e.pool.Load64(addr), lab
+}
+
+// LoadBytes performs an instrumented PM load of n bytes. Dirty words in the
+// range produce inconsistency candidates exactly like Load64.
+func (t *Thread) LoadBytes(addr pmem.Addr, n uint64) ([]byte, taint.Label) {
+	s := site.Here(0)
+	e := t.env
+	e.strat.BeforeLoad(t.ID, addr, s)
+	e.recordStat(t.ID, addr, s, false)
+	e.traceAccess(t.ID, AccLoad, addr, s)
+	meta, waddr, dirty := e.pool.WordDirtyRange(addr, n)
+	t.aliasPair(addr, s, dirty)
+	lab := e.labels.UnionAll(labelsOf(e.pool.ShadowLabelRange(addr, n)))
+	if dirty && meta.Writer != pmem.NoThread {
+		ev := taint.Event{
+			Addr:      waddr,
+			Epoch:     meta.Epoch,
+			WriteSite: meta.Site,
+			ReadSite:  uint32(s),
+			Writer:    int32(meta.Writer),
+			Reader:    int32(t.ID),
+		}
+		lab = e.labels.Union(lab, e.det.OnDirtyRead(ev))
+	}
+	return e.pool.LoadBytes(addr, n), lab
+}
+
+// --- stores ---
+
+// Store64 performs an instrumented 8-byte PM store. valLab is the taint
+// label of the stored value; addrLab is the label of the address computation
+// (non-None when the target address derives from loaded PM data, e.g.
+// indexing through a table pointer). A non-None label whose source is still
+// non-persisted makes this store a durable side effect: a PM inter- or
+// intra-thread inconsistency (paper Definition 2).
+func (t *Thread) Store64(addr pmem.Addr, val uint64, valLab, addrLab taint.Label) {
+	s := site.Here(0)
+	t.store64At(addr, val, valLab, addrLab, s)
+}
+
+func (t *Thread) store64At(addr pmem.Addr, val uint64, valLab, addrLab taint.Label, s site.ID) {
+	e := t.env
+	e.strat.BeforeStore(t.ID, addr, s)
+	e.recordStat(t.ID, addr, s, true)
+	e.traceAccess(t.ID, AccStore, addr, s)
+	t.aliasPair(addr, s, true)
+	t.checkSideEffect(s, addr, 8, valLab, addrLab)
+	old := e.pool.Load64(addr)
+	if old == val && old != 0 {
+		e.det.OnRedundantStore(s, addr)
+	}
+	e.pool.Store64(t.ID, uint32(s), addr, val)
+	e.pool.SetShadowLabel(addr, 8, uint32(valLab))
+	e.recordWrite(addr, 8)
+	t.checkSyncVar(s, addr, 8, old, val)
+	e.strat.AfterStore(t.ID, addr, s)
+}
+
+// StoreBytes performs an instrumented PM store of a byte slice.
+func (t *Thread) StoreBytes(addr pmem.Addr, data []byte, valLab, addrLab taint.Label) {
+	s := site.Here(0)
+	e := t.env
+	n := uint64(len(data))
+	e.strat.BeforeStore(t.ID, addr, s)
+	e.recordStat(t.ID, addr, s, true)
+	e.traceAccess(t.ID, AccStore, addr, s)
+	t.aliasPair(addr, s, true)
+	t.checkSideEffect(s, addr, n, valLab, addrLab)
+	e.pool.StoreBytes(t.ID, uint32(s), addr, data)
+	e.pool.SetShadowLabel(addr, n, uint32(valLab))
+	e.recordWrite(addr, n)
+	e.strat.AfterStore(t.ID, addr, s)
+}
+
+// NTStore64 performs an instrumented non-temporal 8-byte store: the write is
+// durable immediately (PM_CLEAN), so it is itself a durable side effect if
+// its value or address is tainted — the movnt64 pattern of the P-CLHT bug.
+func (t *Thread) NTStore64(addr pmem.Addr, val uint64, valLab, addrLab taint.Label) {
+	s := site.Here(0)
+	e := t.env
+	e.strat.BeforeStore(t.ID, addr, s)
+	e.recordStat(t.ID, addr, s, true)
+	e.traceAccess(t.ID, AccNTStore, addr, s)
+	t.aliasPair(addr, s, false)
+	t.checkSideEffect(s, addr, 8, valLab, addrLab)
+	old := e.pool.Load64(addr)
+	e.pool.NTStore64(t.ID, uint32(s), addr, val)
+	e.pool.SetShadowLabel(addr, 8, uint32(valLab))
+	e.recordWrite(addr, 8)
+	t.checkSyncVar(s, addr, 8, old, val)
+}
+
+// NTStoreBytes performs an instrumented non-temporal store of a byte slice.
+func (t *Thread) NTStoreBytes(addr pmem.Addr, data []byte, valLab, addrLab taint.Label) {
+	s := site.Here(0)
+	e := t.env
+	n := uint64(len(data))
+	e.strat.BeforeStore(t.ID, addr, s)
+	e.recordStat(t.ID, addr, s, true)
+	e.traceAccess(t.ID, AccNTStore, addr, s)
+	t.aliasPair(addr, s, false)
+	t.checkSideEffect(s, addr, n, valLab, addrLab)
+	e.pool.NTStoreBytes(t.ID, uint32(s), addr, data)
+	e.pool.SetShadowLabel(addr, n, uint32(valLab))
+	e.recordWrite(addr, n)
+}
+
+// CAS64 performs an instrumented compare-and-swap. On success it has store
+// semantics (side-effect and sync-variable checks apply); on failure it has
+// load semantics. The returned label covers the observed value.
+func (t *Thread) CAS64(addr pmem.Addr, old, new uint64, valLab, addrLab taint.Label) (bool, uint64, taint.Label) {
+	s := site.Here(0)
+	return t.cas64At(addr, old, new, valLab, addrLab, s)
+}
+
+func (t *Thread) cas64At(addr pmem.Addr, old, new uint64, valLab, addrLab taint.Label, s site.ID) (bool, uint64, taint.Label) {
+	e := t.env
+	e.strat.BeforeStore(t.ID, addr, s)
+	e.recordStat(t.ID, addr, s, true)
+	e.traceAccess(t.ID, AccCAS, addr, s)
+	meta := e.pool.WordState(addr)
+	t.aliasPair(addr, s, true)
+	lab := taint.Label(e.pool.ShadowLabel(addr))
+	if meta.Dirty && meta.Writer != pmem.NoThread {
+		ev := taint.Event{
+			Addr:      addr &^ (pmem.WordSize - 1),
+			Epoch:     meta.Epoch,
+			WriteSite: meta.Site,
+			ReadSite:  uint32(s),
+			Writer:    int32(meta.Writer),
+			Reader:    int32(t.ID),
+		}
+		lab = e.labels.Union(lab, e.det.OnDirtyRead(ev))
+	}
+	ok, observed := e.pool.CAS64(t.ID, uint32(s), addr, old, new)
+	if ok {
+		t.checkSideEffect(s, addr, 8, valLab, addrLab)
+		e.pool.SetShadowLabel(addr, 8, uint32(valLab))
+		e.recordWrite(addr, 8)
+		t.checkSyncVar(s, addr, 8, observed, new)
+		e.strat.AfterStore(t.ID, addr, s)
+	}
+	return ok, observed, lab
+}
+
+// ExternSideEffect reports a durable side effect outside the pool: writing
+// to disk, sending data to another process, answering a client. Definition 2
+// counts these alongside PM writes — if the outgoing data derives from
+// still-non-persisted PM state, a crash leaves the external world ahead of
+// PM. The label is the taint of the escaping data.
+func (t *Thread) ExternSideEffect(lab taint.Label) {
+	if lab == taint.None {
+		return
+	}
+	s := site.Here(0)
+	e := t.env
+	found := e.det.OnStore(core.StoreCheck{
+		Thread:   t.ID,
+		Site:     s,
+		Addr:     0,
+		Size:     0,
+		ValLab:   lab,
+		External: true,
+		Stack:    captureStack(),
+		StillDirty: func(a pmem.Addr, epoch uint32) bool {
+			m := e.pool.WordState(a)
+			return m.Dirty && epoch > m.CleanEpoch
+		},
+	})
+	if e.cfg.OnInconsistency != nil {
+		for _, in := range found {
+			e.cfg.OnInconsistency(e, in)
+		}
+	}
+}
+
+// --- persistency ---
+
+// Flush issues CLWB over the lines covering [addr, addr+n). The
+// unnecessary-persistency checker records flushes whose covered words were
+// all already clean (§4.3's extensible-checker example).
+func (t *Thread) Flush(addr pmem.Addr, n uint64) {
+	t.flushAt(site.Here(0), addr, n)
+}
+
+func (t *Thread) flushAt(s site.ID, addr pmem.Addr, n uint64) {
+	t.env.traceAccess(t.ID, AccFlush, addr, s)
+	_, _, anyDirty := t.env.pool.WordDirtyRange(addr, n)
+	t.env.det.OnFlush(s, addr, anyDirty)
+	t.env.pool.Flush(t.ID, addr, n)
+}
+
+// Fence issues SFENCE: the thread's pending flushes reach the persistence
+// domain.
+func (t *Thread) Fence() { t.env.pool.Fence(t.ID) }
+
+// Persist is the common flush+fence sequence.
+func (t *Thread) Persist(addr pmem.Addr, n uint64) {
+	t.flushAt(site.Here(0), addr, n)
+	t.env.pool.Fence(t.ID)
+}
+
+// --- control flow ---
+
+// Branch records an edge-coverage event at the caller's location,
+// corresponding to the branch instrumentation of the LLVM pass.
+func (t *Thread) Branch() {
+	s := site.Here(0)
+	t.env.cov.Branch.Set(cover.EdgeHash(t.branchPrev, uint32(s)))
+	t.branchPrev = uint32(s)
+}
+
+// --- locking ---
+
+// SpinLock acquires a test-and-set lock stored in PM at addr (0 = free,
+// 1 = held) by spinning on CAS64. If acquisition exceeds the environment's
+// hang timeout the thread reports a hang and panics with HangError — this is
+// how never-released persistent locks (PM Synchronization Inconsistency
+// consequences) and conventional missing-unlock bugs manifest.
+func (t *Thread) SpinLock(addr pmem.Addr) {
+	s := site.Here(0)
+	deadline := time.Now().Add(t.env.cfg.HangTimeout)
+	for {
+		ok, _, _ := t.cas64At(addr, 0, 1, taint.None, taint.None, s)
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			rep := HangReport{
+				Thread: t.ID,
+				Addr:   addr,
+				Site:   site.Lookup(s).String(),
+				Stack:  captureStack(),
+			}
+			if t.env.cfg.OnHang != nil {
+				t.env.cfg.OnHang(t.env, rep)
+			}
+			panic(HangError{Report: rep})
+		}
+		time.Sleep(5 * time.Microsecond)
+	}
+}
+
+// SpinUnlock releases a SpinLock-acquired lock.
+func (t *Thread) SpinUnlock(addr pmem.Addr) {
+	s := site.Here(0)
+	t.store64At(addr, 0, taint.None, taint.None, s)
+}
+
+// --- internal helpers ---
+
+func (t *Thread) aliasPair(addr pmem.Addr, s site.ID, dirty bool) {
+	prev := t.env.pool.SwapAccessor(addr, pmem.Accessor{
+		Site: uint32(s), Thread: t.ID, Dirty: dirty, Valid: true,
+	})
+	if prev.Valid && prev.Thread != t.ID {
+		t.env.cov.Alias.Set(cover.AliasHash(prev.Site, prev.Dirty, uint32(s), dirty))
+	}
+}
+
+// checkSideEffect runs the durable-side-effect checker for a store with the
+// given labels and dispatches newly found inconsistencies to the campaign
+// callback while the pool still reflects the buggy state.
+func (t *Thread) checkSideEffect(s site.ID, addr pmem.Addr, n uint64, valLab, addrLab taint.Label) {
+	if valLab == taint.None && addrLab == taint.None {
+		return
+	}
+	e := t.env
+	found := e.det.OnStore(core.StoreCheck{
+		Thread:  t.ID,
+		Site:    s,
+		Addr:    addr,
+		Size:    n,
+		ValLab:  valLab,
+		AddrLab: addrLab,
+		Stack:   captureStack(),
+		StillDirty: func(a pmem.Addr, epoch uint32) bool {
+			// The dependency is live while the word has stayed
+			// non-persisted since the observed store: overwrites
+			// keep the observed value lost on crash; only a flush
+			// (raising CleanEpoch past the event) settles it.
+			m := e.pool.WordState(a)
+			return m.Dirty && epoch > m.CleanEpoch
+		},
+	})
+	if e.cfg.OnInconsistency != nil {
+		for _, in := range found {
+			e.cfg.OnInconsistency(e, in)
+		}
+	}
+}
+
+func (t *Thread) checkSyncVar(s site.ID, addr pmem.Addr, n uint64, old, new uint64) {
+	if !t.env.det.HasSyncVars() {
+		return
+	}
+	si := t.env.det.OnSyncStore(t.ID, s, addr, n, old, new, nil)
+	if si != nil {
+		si.Stack = captureStack()
+	}
+	if si != nil && t.env.cfg.OnSync != nil {
+		t.env.cfg.OnSync(t.env, si)
+	}
+}
+
+func labelsOf(raw []uint32) []taint.Label {
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]taint.Label, len(raw))
+	for i, r := range raw {
+		out[i] = taint.Label(r)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/site"
+)
+
+// AccessKind classifies a traced PM access.
+type AccessKind uint8
+
+// Access kinds recorded in the execution trace.
+const (
+	AccLoad AccessKind = iota
+	AccStore
+	AccNTStore
+	AccCAS
+	AccFlush
+	AccFence
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccLoad:
+		return "load"
+	case AccStore:
+		return "store"
+	case AccNTStore:
+		return "ntstore"
+	case AccCAS:
+		return "cas"
+	case AccFlush:
+		return "flush"
+	case AccFence:
+		return "fence"
+	default:
+		return "?"
+	}
+}
+
+// Access is one traced PM access.
+type Access struct {
+	Seq    uint64
+	Thread pmem.ThreadID
+	Kind   AccessKind
+	Addr   pmem.Addr
+	Site   site.ID
+}
+
+// String renders the access the way bug reports print interleaving evidence.
+func (a Access) String() string {
+	return fmt.Sprintf("#%d t%d %-7s %#x @ %s", a.Seq, a.Thread, a.Kind, a.Addr, site.Lookup(a.Site))
+}
+
+// traceRing is a fixed-capacity ring of recent PM accesses. PMRace's bug
+// reports attach the access history around a detection so developers can see
+// the buggy interleaving, not just its endpoints.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []Access
+	next int
+	full bool
+	seq  uint64
+}
+
+func newTraceRing(depth int) *traceRing {
+	return &traceRing{buf: make([]Access, depth)}
+}
+
+func (r *traceRing) add(t pmem.ThreadID, k AccessKind, addr pmem.Addr, s site.ID) {
+	r.mu.Lock()
+	r.seq++
+	r.buf[r.next] = Access{Seq: r.seq, Thread: t, Kind: k, Addr: addr, Site: s}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the ring contents in chronological order.
+func (r *traceRing) snapshot() []Access {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Access
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// RecentAccesses returns the most recent PM accesses in chronological order,
+// or nil when tracing is disabled. The fuzzer snapshots it inside the
+// detection callback, so the tail of the trace is the interleaving that led
+// to the finding.
+func (e *Env) RecentAccesses() []Access {
+	if e.trace == nil {
+		return nil
+	}
+	return e.trace.snapshot()
+}
+
+func (e *Env) traceAccess(t pmem.ThreadID, k AccessKind, addr pmem.Addr, s site.ID) {
+	if e.trace != nil {
+		e.trace.add(t, k, addr, s)
+	}
+}
+
+// FormatTrace renders the last n accesses of a trace, one per line.
+func FormatTrace(trace []Access, n int) []string {
+	if len(trace) > n {
+		trace = trace[len(trace)-n:]
+	}
+	out := make([]string, len(trace))
+	for i, a := range trace {
+		out[i] = a.String()
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/site"
+)
+
+// Config tunes the PM-aware thread scheduling. Durations are scaled for the
+// simulation; the algorithm is the one in the paper's Figure 6.
+type Config struct {
+	// Poll is the sleep between condition checks inside cond_wait (the
+	// paper's usleep(100)).
+	Poll time.Duration
+	// WriterWait is how long cond_signal stalls the writer thread so that
+	// reader threads can execute their loads against the still-unflushed
+	// store (the paper sets it to the typical total execution time of the
+	// original program).
+	WriterWait time.Duration
+	// MaxWait is the wall-clock bound on one cond_wait after which the
+	// waiting thread is considered blocked (Pitfall-3): the sync point is
+	// disabled and the wait abandoned. It is a duration rather than a
+	// loop count because sleep granularity varies by platform, and a
+	// waiter may hold application-level locks — the bound must stay well
+	// under the runtime's hang timeout.
+	MaxWait time.Duration
+	// Seed seeds the privileged-thread selection.
+	Seed int64
+}
+
+// DefaultConfig returns simulation-scale defaults.
+func DefaultConfig() Config {
+	return Config{
+		Poll:       20 * time.Microsecond,
+		WriterWait: 2 * time.Millisecond,
+		MaxWait:    8 * time.Millisecond,
+		Seed:       1,
+	}
+}
+
+// Outcome summarizes one execution under the PM-aware strategy, feeding the
+// per-seed skip bookkeeping (Pitfall-3): when a sync point was disabled, the
+// fuzzer saves an increased initial skip so future campaigns on the same seed
+// do not block on the same cond_wait executions.
+type Outcome struct {
+	// CondWaits is the number of cond_wait executions that entered the
+	// waiting path.
+	CondWaits int
+	// Signalled reports whether any cond_signal fired.
+	Signalled bool
+	// Disabled reports whether the sync point was disabled because a
+	// thread blocked too long.
+	Disabled bool
+	// PrivilegedUsed reports whether a privileged thread was selected
+	// because all threads blocked (Pitfall-2).
+	PrivilegedUsed bool
+}
+
+type waiterState struct {
+	bypass  atomic.Bool
+	waiting atomic.Bool
+}
+
+// PMAware is the PM-aware interleaving exploration strategy (paper §4.2.2,
+// Figure 6). For the selected priority-queue entry it injects cond_wait
+// before the entry's load sites (sync points) and cond_signal after the
+// entry's store sites, stalling the writer before its flush so readers
+// observe non-persisted data. It mitigates the three pitfalls described in
+// the paper: cond_wait is a no-op once signalled; if all threads block, a
+// randomly selected privileged thread bypasses every wait; if one thread
+// blocks too long, the sync point is disabled and the skip count reported in
+// the Outcome.
+type PMAware struct {
+	cfg   Config
+	entry *Entry
+
+	m        atomic.Int32 // the condition variable of Figure 6
+	armed    atomic.Bool  // true only between BeginExec and EndExec
+	enabled  atomic.Bool  // sync.is_enabled
+	skip     atomic.Int32 // sync.skip
+	disabled atomic.Bool
+	signal   atomic.Bool
+	privUsed atomic.Bool
+	waits    atomic.Int32
+	waiting  atomic.Int32 // threads currently inside cond_wait
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	threads map[pmem.ThreadID]*waiterState
+	active  int
+}
+
+// NewPMAware creates the strategy for one campaign targeting the given
+// priority-queue entry with the given initial skip count (0 for a fresh
+// entry).
+func NewPMAware(cfg Config, entry *Entry, skip int) *PMAware {
+	if cfg.Poll <= 0 {
+		cfg = DefaultConfig()
+	}
+	p := &PMAware{
+		cfg:     cfg,
+		entry:   entry,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		threads: make(map[pmem.ThreadID]*waiterState),
+	}
+	p.enabled.Store(true)
+	p.skip.Store(int32(skip))
+	return p
+}
+
+// BeginExec implements Strategy. Hooks are inert until BeginExec so that the
+// setup/recovery phase (which runs the same instrumented code) cannot trip
+// sync points before worker threads exist.
+func (p *PMAware) BeginExec(int) {
+	p.m.Store(0)
+	p.signal.Store(false)
+	p.armed.Store(true)
+}
+
+// ThreadStart implements Strategy.
+func (p *PMAware) ThreadStart(t pmem.ThreadID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.threads[t] = &waiterState{}
+	p.active++
+}
+
+// ThreadExit implements Strategy.
+func (p *PMAware) ThreadExit(t pmem.ThreadID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.threads[t]; ok {
+		delete(p.threads, t)
+		p.active--
+	}
+}
+
+func (p *PMAware) state(t pmem.ThreadID) *waiterState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.threads[t]
+}
+
+// BeforeLoad implements Strategy: it injects cond_wait before the entry's
+// sync points.
+func (p *PMAware) BeforeLoad(t pmem.ThreadID, addr pmem.Addr, s site.ID) {
+	if p.entry == nil || !p.armed.Load() || addr != p.entry.Addr {
+		return
+	}
+	if _, ok := p.entry.LoadSites[s]; !ok {
+		return
+	}
+	p.condWait(t)
+}
+
+// BeforeStore implements Strategy.
+func (p *PMAware) BeforeStore(pmem.ThreadID, pmem.Addr, site.ID) {}
+
+// AfterStore implements Strategy: it fires cond_signal after the entry's
+// store sites, before the writer flushes.
+func (p *PMAware) AfterStore(t pmem.ThreadID, addr pmem.Addr, s site.ID) {
+	if p.entry == nil || !p.armed.Load() || addr != p.entry.Addr {
+		return
+	}
+	if _, ok := p.entry.StoreSites[s]; !ok {
+		return
+	}
+	p.condSignal()
+}
+
+// EndExec implements Strategy.
+func (p *PMAware) EndExec() { p.armed.Store(false) }
+
+// Outcome returns the campaign summary used for skip bookkeeping.
+func (p *PMAware) Outcome() Outcome {
+	return Outcome{
+		CondWaits:      int(p.waits.Load()),
+		Signalled:      p.signal.Load(),
+		Disabled:       p.disabled.Load(),
+		PrivilegedUsed: p.privUsed.Load(),
+	}
+}
+
+// condWait is Figure 6's wait: spin until the condition variable is set,
+// handling skip counts, privileged bypass and blocked-thread disabling.
+func (p *PMAware) condWait(t pmem.ThreadID) {
+	st := p.state(t)
+	if st == nil || !p.enabled.Load() || st.bypass.Load() {
+		return
+	}
+	// sync.skip > 0: this cond_wait execution is skipped (Pitfall-3
+	// bookkeeping from earlier campaigns on the same seed).
+	for {
+		cur := p.skip.Load()
+		if cur == 0 {
+			break
+		}
+		if p.skip.CompareAndSwap(cur, cur-1) {
+			return
+		}
+	}
+	p.waits.Add(1)
+	p.waiting.Add(1)
+	defer p.waiting.Add(-1)
+	st.waiting.Store(true)
+	defer st.waiting.Store(false)
+	deadline := time.Now().Add(p.cfg.MaxWait)
+	for p.m.Load() == 0 {
+		time.Sleep(p.cfg.Poll)
+		if p.allBlocked() {
+			// Pitfall-2: every thread is waiting for a writer
+			// that does not exist; a random thread becomes
+			// privileged and bypasses all waits.
+			p.electPrivileged()
+		}
+		if st.bypass.Load() {
+			return
+		}
+		if time.Now().After(deadline) {
+			// Pitfall-3: this thread blocked too long; disable
+			// the sync point for the rest of the campaign.
+			p.enabled.Store(false)
+			p.disabled.Store(true)
+			return
+		}
+		if !p.enabled.Load() {
+			return
+		}
+	}
+}
+
+// condSignal is Figure 6's signal: set the condition and stall the writer so
+// readers can consume the unflushed store. Two refinements over the paper's
+// pseudo-code keep the one-shot useful: the signal only fires while a reader
+// is actually waiting (a store nobody observes — e.g. the first write that
+// creates the shared object — must not burn the campaign's signal), and only
+// the first successful signal stalls the writer (Pitfall-1: once m is set,
+// waits are disabled, so further stalls would only starve threads queued on
+// the writer's application-level locks).
+func (p *PMAware) condSignal() {
+	if p.waiting.Load() == 0 {
+		return
+	}
+	if p.m.Swap(1) != 0 {
+		return
+	}
+	p.signal.Store(true)
+	time.Sleep(p.cfg.WriterWait)
+}
+
+func (p *PMAware) allBlocked() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.active == 0 {
+		return false
+	}
+	for _, st := range p.threads {
+		if !st.waiting.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *PMAware) electPrivileged() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var waiting []*waiterState
+	for _, st := range p.threads {
+		if st.bypass.Load() {
+			return // already have a privileged thread
+		}
+		if st.waiting.Load() {
+			waiting = append(waiting, st)
+		}
+	}
+	if len(waiting) == 0 {
+		return
+	}
+	waiting[p.rng.Intn(len(waiting))].bypass.Store(true)
+	p.privUsed.Store(true)
+}

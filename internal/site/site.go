@@ -1,0 +1,152 @@
+// Package site assigns stable integer identifiers to instrumentation call
+// sites. It replaces the unique instruction IDs that PMRace's LLVM pass
+// assigns at compile time (paper §4.2.1): in this reproduction, instrumented
+// instructions are calls into the runtime hook API, and the hook resolves its
+// caller's program counter to a site ID the first time it is seen. Site IDs
+// feed the PM alias pair coverage metric and appear in bug reports as
+// file:line locations, mirroring the "Write code"/"Read code" columns of the
+// paper's Table 2.
+package site
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+)
+
+// ID identifies one instrumented instruction (hook call site).
+type ID uint32
+
+// Unknown is the zero site, used when a location cannot be resolved.
+const Unknown ID = 0
+
+// Info describes a resolved call site.
+type Info struct {
+	File     string // base file name, e.g. "pclht.go"
+	Line     int
+	Function string // short function name, e.g. "Resize"
+}
+
+// String formats the site like the paper's bug tables: "pclht.go:785".
+func (i Info) String() string {
+	if i.File == "" {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s:%d", i.File, i.Line)
+}
+
+// Registry maps program counters to stable site IDs. The zero value is not
+// usable; create registries with NewRegistry. A process-wide registry is
+// exposed through the package-level functions so that site IDs remain stable
+// across fuzz campaigns within one run.
+type Registry struct {
+	mu    sync.Mutex
+	byPC  map[uintptr]ID
+	byKey map[string]ID
+	infos []Info // index = ID; 0 reserved for Unknown
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byPC:  make(map[uintptr]ID),
+		byKey: make(map[string]ID),
+		infos: make([]Info, 1),
+	}
+}
+
+var global = NewRegistry()
+
+// Here resolves the caller's caller (adjusted by skip) to a site ID using the
+// global registry. skip follows runtime.Callers conventions relative to the
+// caller of Here: skip 0 identifies the direct caller of the function calling
+// Here.
+func Here(skip int) ID { return global.Here(skip + 2) }
+
+// Lookup returns the Info recorded for a global-registry site ID.
+func Lookup(id ID) Info { return global.Lookup(id) }
+
+// Named returns a stable global-registry ID for a symbolic location, used by
+// tests and synthetic workloads that have no meaningful program counter.
+func Named(name string) ID { return global.Named(name) }
+
+// Here resolves the caller at the given skip depth to a stable ID.
+func (r *Registry) Here(skip int) ID {
+	var pcs [1]uintptr
+	if runtime.Callers(skip+2, pcs[:]) == 0 {
+		return Unknown
+	}
+	pc := pcs[0]
+	r.mu.Lock()
+	if id, ok := r.byPC[pc]; ok {
+		r.mu.Unlock()
+		return id
+	}
+	r.mu.Unlock()
+	// Resolve outside the lock: CallersFrames may be slow.
+	frames := runtime.CallersFrames(pcs[:])
+	frame, _ := frames.Next()
+	info := Info{
+		File:     filepath.Base(frame.File),
+		Line:     frame.Line,
+		Function: shortFunc(frame.Function),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.byPC[pc]; ok {
+		return id
+	}
+	// Two distinct PCs can resolve to the same file:line (inlining);
+	// reuse the existing ID so coverage and dedup stay stable.
+	key := fmt.Sprintf("%s:%d", frame.File, frame.Line)
+	if id, ok := r.byKey[key]; ok {
+		r.byPC[pc] = id
+		return id
+	}
+	id := ID(len(r.infos))
+	r.infos = append(r.infos, info)
+	r.byPC[pc] = id
+	r.byKey[key] = id
+	return id
+}
+
+// Named returns a stable ID for a symbolic name.
+func (r *Registry) Named(name string) ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.byKey[name]; ok {
+		return id
+	}
+	id := ID(len(r.infos))
+	r.infos = append(r.infos, Info{File: name, Line: 0, Function: name})
+	r.byKey[name] = id
+	return id
+}
+
+// Lookup returns the Info recorded for id, or a zero Info for Unknown or
+// out-of-range IDs.
+func (r *Registry) Lookup(id ID) Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id == Unknown || int(id) >= len(r.infos) {
+		return Info{}
+	}
+	return r.infos[id]
+}
+
+// Count returns the number of registered sites.
+func (r *Registry) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.infos) - 1
+}
+
+func shortFunc(fn string) string {
+	for i := len(fn) - 1; i >= 0; i-- {
+		if fn[i] == '/' {
+			return fn[i+1:]
+		}
+	}
+	return fn
+}

@@ -1,0 +1,181 @@
+package cceh
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/targets"
+)
+
+func setup(t *testing.T) (*rt.Env, *rt.Thread, *HT) {
+	t.Helper()
+	h := New()
+	env := rt.NewEnv(pmem.New(h.PoolSize()), rt.Config{HangTimeout: 50 * time.Millisecond})
+	th := env.Spawn()
+	if err := h.Setup(th); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	return env, th, h
+}
+
+func TestRegistered(t *testing.T) {
+	tgt, err := targets.New("cceh")
+	if err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+	if tgt.Name() != "cceh" || tgt.Annotations() != 2 {
+		t.Fatalf("meta: %s %d", tgt.Name(), tgt.Annotations())
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	_, th, h := setup(t)
+	if err := h.Put(th, "alpha", "one"); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	v, ok := h.Get(th, "alpha")
+	if !ok || v != targets.Fingerprint("one") {
+		t.Fatalf("get = %d %v", v, ok)
+	}
+	h.Put(th, "alpha", "two")
+	if v, _ := h.Get(th, "alpha"); v != targets.Fingerprint("two") {
+		t.Fatalf("update failed")
+	}
+	if !h.Delete(th, "alpha") {
+		t.Fatalf("delete failed")
+	}
+	if _, ok := h.Get(th, "alpha"); ok {
+		t.Fatalf("deleted key found")
+	}
+}
+
+func TestSplitAndDirectoryDoubling(t *testing.T) {
+	_, th, h := setup(t)
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := h.Put(th, fmt.Sprintf("key%04d", i), fmt.Sprintf("v%04d", i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if h.Depth(th) <= initialDepth {
+		t.Fatalf("directory never doubled: depth %d", h.Depth(th))
+	}
+	lost := 0
+	for i := 0; i < n; i++ {
+		if _, ok := h.Get(th, fmt.Sprintf("key%04d", i)); !ok {
+			lost++
+		}
+	}
+	// The last-slot overwrite fallback may drop a couple of items under
+	// pathological skew, but the structure must retain nearly everything.
+	if lost > n/20 {
+		t.Fatalf("lost %d of %d items across splits", lost, n)
+	}
+}
+
+// TestBug7IntraInconsistencyOnDoubling: doubling reads the unflushed
+// capacity and builds the new directory from it.
+func TestBug7IntraInconsistencyOnDoubling(t *testing.T) {
+	env, th, h := setup(t)
+	for i := 0; i < 120; i++ {
+		h.Put(th, fmt.Sprintf("key%04d", i), "v")
+	}
+	foundIntra := false
+	for _, in := range env.Detector().Inconsistencies() {
+		if in.Kind == core.KindIntra {
+			foundIntra = true
+		}
+	}
+	if !foundIntra {
+		t.Fatalf("directory doubling must produce the intra inconsistency (Bug 7)")
+	}
+}
+
+// TestBug6SegmentLockSurvivesRecovery: segment locks are not re-initialized.
+func TestBug6SegmentLockSurvivesRecovery(t *testing.T) {
+	env, th, h := setup(t)
+	h.Put(th, "k", "v")
+	// Identify the segment of "k" and craft an image with its lock held.
+	kf := targets.Fingerprint("k")
+	seg, _, _ := h.segmentFor(th, kf)
+	th.SpinLock(seg + segLock)
+	img := env.Pool().CrashImageWith([]pmem.Range{{Off: seg + segLock, Len: 8}})
+
+	h2 := New()
+	env2 := rt.NewEnv(pmem.FromImage(img), rt.Config{HangTimeout: 20 * time.Millisecond})
+	th2 := env2.Spawn()
+	if err := h2.Recover(th2); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if lock, _ := th2.Load64(seg + segLock); lock != 1 {
+		t.Fatalf("segment lock must still be held after recovery (Bug 6)")
+	}
+	if lock, _ := th2.Load64(h2.root + fldDirLock); lock != 0 {
+		t.Fatalf("dir lock must be re-initialized")
+	}
+	// Post-recovery writers to that segment hang.
+	defer func() {
+		if _, ok := recover().(rt.HangError); !ok {
+			t.Fatalf("expected hang on never-released segment lock")
+		}
+	}()
+	h2.Put(th2, "k", "v2")
+}
+
+func TestSyncInconsistenciesRecorded(t *testing.T) {
+	env, th, h := setup(t)
+	h.Put(th, "k", "v")
+	names := map[string]bool{}
+	for _, si := range env.Detector().SyncInconsistencies() {
+		names[si.Var.Name] = true
+	}
+	if !names["segment-lock"] {
+		t.Fatalf("segment-lock updates must be detected, got %v", names)
+	}
+}
+
+func TestPersistedDataSurvivesCrash(t *testing.T) {
+	env, th, h := setup(t)
+	var keys []string
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		keys = append(keys, k)
+		h.Put(th, k, "v")
+	}
+	img := env.Pool().CrashImage()
+	h2 := New()
+	env2 := rt.NewEnv(pmem.FromImage(img), rt.Config{})
+	th2 := env2.Spawn()
+	if err := h2.Recover(th2); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	for _, k := range keys {
+		if _, ok := h2.Get(th2, k); !ok {
+			t.Fatalf("persisted key %s lost", k)
+		}
+	}
+}
+
+func TestRecoverEmptyPoolFails(t *testing.T) {
+	h := New()
+	env := rt.NewEnv(pmem.New(h.PoolSize()), rt.Config{})
+	if err := h.Recover(env.Spawn()); err == nil {
+		t.Fatalf("recover on empty pool must fail")
+	}
+}
+
+func TestDirIndex(t *testing.T) {
+	if dirIndex(0xFFFFFFFFFFFFFFFF, 2) != 3 {
+		t.Fatalf("top-2-bit index of all-ones must be 3")
+	}
+	if dirIndex(0, 2) != 0 {
+		t.Fatalf("top bits of zero must be 0")
+	}
+	if dirIndex(123, 0) != 0 {
+		t.Fatalf("depth 0 must index 0")
+	}
+}

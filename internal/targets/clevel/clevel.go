@@ -1,0 +1,279 @@
+// Package clevel reimplements clevel hashing (USENIX ATC '20), the lock-free
+// PM hash index the paper evaluates. PMRace found no true bugs in clevel;
+// instead it exercises the false-positive machinery (paper §4.4, Figure 7,
+// Table 3):
+//
+//   - The constructor allocates the metadata object and then assigns the
+//     first level through the not-yet-persisted metadata pointer inside a
+//     mini-PMDK transaction — an intra-thread inconsistency that post-failure
+//     validation classifies as benign, because transaction recovery rebuilds
+//     the index (the undo log reverts the metadata object).
+//   - Concurrent inserts allocate nodes with redo-logged allocation
+//     (pmdk.AllocRedo); reads of the non-persisted bump pointer flow into
+//     durable bookkeeping — inter-thread inconsistencies covered by the
+//     default whitelist ("transactional allocations in PMDK").
+//
+// The index itself is a two-level hash: a top level of buckets probed first
+// and a bottom level for displaced keys, with CAS-claimed slots and no
+// locks (searches and inserts are lock-free).
+package clevel
+
+import (
+	"errors"
+	"strconv"
+
+	"github.com/pmrace-go/pmrace/internal/pmdk"
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/taint"
+	"github.com/pmrace-go/pmrace/internal/targets"
+	"github.com/pmrace-go/pmrace/internal/workload"
+)
+
+func init() {
+	targets.Register("clevel", func() targets.Target { return New() })
+}
+
+const (
+	topBuckets    = 32
+	bottomBuckets = 64
+	slotsPerBkt   = 4
+	bktSize       = slotsPerBkt * 16 // (key,val) pairs
+
+	// Metadata object fields (the clevel_hash "level_meta").
+	metaFirstLevel = 0  // top level pointer (Figure 7's m->first_level)
+	metaLastLevel  = 8  // bottom level pointer
+	metaIsResizing = 16 // resize flag (unused: the repro does not resize)
+	metaSize       = 64
+)
+
+// HT is one clevel instance.
+type HT struct {
+	pool *pmdk.ObjPool
+	meta pmem.Addr
+}
+
+// New creates an unopened instance.
+func New() *HT { return &HT{} }
+
+// Name implements targets.Target.
+func (h *HT) Name() string { return "clevel" }
+
+// PoolSize implements targets.Target.
+func (h *HT) PoolSize() uint64 { return 512 << 10 }
+
+// Annotations implements targets.Target: clevel is lock-free, no persistent
+// synchronization variables (paper Table 3: 0 annotations).
+func (h *HT) Annotations() int { return 0 }
+
+// Setup implements targets.Target: format the pool, allocate the root
+// ("cons") slot, and construct the index inside a transaction (Figure 7).
+func (h *HT) Setup(t *rt.Thread) error {
+	h.pool = pmdk.Create(t)
+	cons, err := h.pool.Alloc(t, 64)
+	if err != nil {
+		return err
+	}
+	h.pool.SetRoot(t, cons)
+	return h.construct(t, cons)
+}
+
+// construct mirrors Figure 7: root->cons = make_persistent<clevel_hash>()
+// runs inside a transaction; the metadata handle is stored to the cons slot
+// without a flush, read back while still non-persisted
+// (clevel_hash.hpp:298), and the first level is assigned through that dirty
+// handle (clevel_hash.hpp:300) — a PM intra-thread inconsistency whose
+// durable side effect the transaction's recovery overwrites when the index
+// is rebuilt, i.e. a benign inconsistency that post-failure validation
+// classifies as a false positive.
+func (h *HT) construct(t *rt.Thread, cons pmem.Addr) error {
+	tx := h.pool.Begin(t)
+	if err := tx.AddRange(cons, 8); err != nil {
+		tx.Abort()
+		return err
+	}
+	metaOff, err := tx.Alloc(metaSize)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	// make_persistent<level_bucket>() for both levels.
+	first, err := tx.Alloc(topBuckets * bktSize)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	last, err := tx.Alloc(bottomBuckets * bktSize)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	zero := make([]byte, bktSize)
+	for i := uint64(0); i < topBuckets; i++ {
+		t.NTStoreBytes(first+i*bktSize, zero, taint.None, taint.None)
+	}
+	for i := uint64(0); i < bottomBuckets; i++ {
+		t.NTStoreBytes(last+i*bktSize, zero, taint.None, taint.None)
+	}
+	t.Fence()
+
+	// Store the metadata handle without flushing (the transaction commit
+	// persists it later) ...
+	t.Store64(cons, metaOff, taint.None, taint.None)
+	// ... read the non-persisted handle back (Figure 7 line 298) ...
+	m, mlab := t.Load64(cons)
+	// ... and assign the levels through it (line 300): durable side
+	// effects whose addresses derive from non-persisted data.
+	t.Store64(m+metaFirstLevel, first, taint.None, mlab)
+	t.Store64(m+metaLastLevel, last, taint.None, mlab)
+	t.Store64(m+metaIsResizing, 0, taint.None, taint.None)
+	t.Persist(m, metaSize)
+	t.Persist(cons, 8)
+	tx.Commit()
+	h.meta = m
+	return nil
+}
+
+// Exec implements targets.Target.
+func (h *HT) Exec(t *rt.Thread, op workload.Op) error {
+	t.Branch()
+	switch op.Kind {
+	case workload.OpGet, workload.OpBGet:
+		h.Get(t, op.Key)
+	case workload.OpSet, workload.OpAdd, workload.OpReplace, workload.OpAppend, workload.OpPrepend:
+		return h.Put(t, op.Key, op.Value)
+	case workload.OpIncr, workload.OpDecr:
+		n, _ := strconv.Atoi(op.Value)
+		return h.Put(t, op.Key, strconv.Itoa(n+100))
+	case workload.OpDelete:
+		h.Delete(t, op.Key)
+	}
+	return nil
+}
+
+func (h *HT) levels(t *rt.Thread) (first, last pmem.Addr, lab taint.Label) {
+	f, flab := t.Load64(h.meta + metaFirstLevel)
+	l, llab := t.Load64(h.meta + metaLastLevel)
+	return f, l, t.Env().Labels().Union(flab, llab)
+}
+
+// Get probes the top level then the bottom level, lock-free.
+func (h *HT) Get(t *rt.Thread, key string) (uint64, bool) {
+	t.Branch()
+	kf := targets.Fingerprint(key)
+	first, last, _ := h.levels(t)
+	if v, ok := probe(t, first, kf%topBuckets, kf); ok {
+		return v, true
+	}
+	return probe(t, last, kf%bottomBuckets, kf)
+}
+
+func probe(t *rt.Thread, level pmem.Addr, idx, kf uint64) (uint64, bool) {
+	b := level + idx*bktSize
+	for i := 0; i < slotsPerBkt; i++ {
+		k, _ := t.Load64(b + pmem.Addr(i*16))
+		if k == kf {
+			v, _ := t.Load64(b + pmem.Addr(i*16) + 8)
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Put claims a slot with CAS (lock-free), trying the top level first and
+// displacing to the bottom level when full. Each insert also records a
+// bookkeeping node through redo-logged allocation — the source of the
+// whitelisted inter-thread inconsistencies.
+func (h *HT) Put(t *rt.Thread, key, val string) error {
+	t.Branch()
+	kf, vf := targets.Fingerprint(key), targets.Fingerprint(val)
+	first, last, lab := h.levels(t)
+
+	// Redo-logged allocation of an insert-record node (crash-consistent,
+	// whitelisted when its dirty bump pointer flows onward).
+	node, err := h.pool.AllocRedo(t, 64)
+	if err != nil {
+		return err
+	}
+	t.NTStore64(node, kf, taint.None, taint.None)
+	t.NTStore64(node+8, vf, taint.None, taint.None)
+	t.Fence()
+
+	for _, lv := range [2]struct {
+		level pmem.Addr
+		idx   uint64
+	}{{first, kf % topBuckets}, {last, kf % bottomBuckets}} {
+		b := lv.level + lv.idx*bktSize
+		// Update in place if present.
+		for i := 0; i < slotsPerBkt; i++ {
+			slot := b + pmem.Addr(i*16)
+			k, _ := t.Load64(slot)
+			if k == kf {
+				t.Store64(slot+8, vf, taint.None, lab)
+				t.Persist(slot+8, 8)
+				return nil
+			}
+		}
+		// Claim an empty slot with CAS.
+		for i := 0; i < slotsPerBkt; i++ {
+			slot := b + pmem.Addr(i*16)
+			ok, _, _ := t.CAS64(slot, 0, kf, taint.None, lab)
+			if ok {
+				t.Store64(slot+8, vf, taint.None, lab)
+				t.Persist(slot, 16)
+				return nil
+			}
+		}
+	}
+	return errors.New("clevel: both levels full for key")
+}
+
+// Delete zeroes a matching slot with CAS.
+func (h *HT) Delete(t *rt.Thread, key string) bool {
+	t.Branch()
+	kf := targets.Fingerprint(key)
+	first, last, lab := h.levels(t)
+	for _, lv := range [2]struct {
+		level pmem.Addr
+		idx   uint64
+	}{{first, kf % topBuckets}, {last, kf % bottomBuckets}} {
+		b := lv.level + lv.idx*bktSize
+		for i := 0; i < slotsPerBkt; i++ {
+			slot := b + pmem.Addr(i*16)
+			k, _ := t.Load64(slot)
+			if k == kf {
+				ok, _, _ := t.CAS64(slot, kf, 0, taint.None, lab)
+				if ok {
+					t.Persist(slot, 8)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Recover implements targets.Target: mini-PMDK recovery reverts any
+// uncommitted constructor transaction (the undo log resets the cons slot and
+// rolls the allocator back), and an interrupted construction is then redone
+// from scratch — the rebuild overwrites the metadata object at the same heap
+// offsets, which is exactly the overwrite that validates the Figure 7
+// inconsistency as benign.
+func (h *HT) Recover(t *rt.Thread) error {
+	pool, err := pmdk.Open(t)
+	if err != nil {
+		return err
+	}
+	h.pool = pool
+	cons, _ := pool.Root(t)
+	if cons == 0 {
+		return errors.New("clevel: no root object")
+	}
+	meta, _ := t.Load64(cons)
+	if meta == 0 {
+		// Construction never committed: rebuild the index.
+		return h.construct(t, cons)
+	}
+	h.meta = meta
+	return nil
+}

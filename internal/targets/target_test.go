@@ -1,0 +1,60 @@
+package targets
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestFingerprintNeverZero(t *testing.T) {
+	f := func(s string) bool { return Fingerprint(s) != 0 }
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	if Fingerprint("abc") != Fingerprint("abc") {
+		t.Fatalf("fingerprint must be deterministic")
+	}
+	if Fingerprint("abc") == Fingerprint("abd") {
+		t.Fatalf("different keys should differ")
+	}
+}
+
+// The top bits must disperse across similar keys: extendible hashing indexes
+// directories by them.
+func TestFingerprintHighBitDispersion(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		seen[Fingerprint(fmt.Sprintf("key%04d", i))>>60] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("top-4-bit buckets used = %d of 16, poor dispersion", len(seen))
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := New("definitely-not-registered"); err == nil {
+		t.Fatalf("unknown target must error")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate registration must panic")
+		}
+	}()
+	Register("dup-test-target", nil)
+	Register("dup-test-target", nil)
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package validate implements PMRace's post-failure validation (paper §4.4).
+// For each detected inconsistency the fuzzer duplicated the pool at the
+// adversarial crash point (durable side effect persisted, dependent data
+// lost). Validation restarts the target on that image, runs its recovery
+// code under a write recorder, and decides:
+//
+//   - Inter-/intra-thread inconsistency: if recovery overwrote every byte of
+//     the recorded durable side effect, the inconsistency is a validated
+//     false positive (the application's recovery mechanism fixes it);
+//     otherwise it is reported as a bug.
+//   - Synchronization inconsistency: if the annotated variable holds its
+//     expected initial value after recovery, it is benign; otherwise the
+//     stale synchronization state survived — a PM Execution Context Bug.
+//
+// A whitelist check runs first: inconsistencies whose stacks or sites match
+// developer-specified benign patterns (redo-logged allocation, checksummed
+// regions, lazy recovery) are classified as whitelisted false positives.
+package validate
+
+import (
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/targets"
+)
+
+// Options configure validation runs.
+type Options struct {
+	// HangTimeout bounds recovery execution; recovery that hangs (e.g. on
+	// a never-released persistent lock) confirms the bug.
+	HangTimeout time.Duration
+	// Whitelist holds the benign patterns; nil disables whitelisting.
+	Whitelist *core.Whitelist
+}
+
+// Result is the outcome of one validation run.
+type Result struct {
+	Status core.Status
+	// RecoveryHung reports that the recovery code itself hung — direct
+	// evidence for synchronization bugs.
+	RecoveryHung bool
+	// RecoveryErr records a recovery failure, if any.
+	RecoveryErr error
+}
+
+// Inconsistency validates one inter-/intra-thread inconsistency against its
+// crash image.
+func Inconsistency(factory targets.Factory, img []byte, in *core.Inconsistency, opts Options) Result {
+	if opts.Whitelist != nil && opts.Whitelist.MatchInconsistency(in) {
+		return Result{Status: core.StatusWhitelistedFP}
+	}
+	if in.External {
+		// The external world cannot be overwritten by recovery: a disk
+		// write or a message based on lost PM state is a bug outright.
+		return Result{Status: core.StatusBug}
+	}
+	env, hung, err := runRecovery(factory, img, opts)
+	if hung {
+		return Result{Status: core.StatusBug, RecoveryHung: true, RecoveryErr: err}
+	}
+	if err != nil {
+		// Recovery could not complete: the inconsistency was not fixed.
+		return Result{Status: core.StatusBug, RecoveryErr: err}
+	}
+	if env.RangeOverwritten(in.SideEffect) {
+		return Result{Status: core.StatusValidatedFP}
+	}
+	return Result{Status: core.StatusBug}
+}
+
+// Sync validates one synchronization inconsistency against its crash image.
+func Sync(factory targets.Factory, img []byte, si *core.SyncInconsistency, opts Options) Result {
+	if opts.Whitelist != nil && opts.Whitelist.MatchStack(si.Stack) {
+		return Result{Status: core.StatusWhitelistedFP}
+	}
+	env, hung, err := runRecovery(factory, img, opts)
+	if hung {
+		return Result{Status: core.StatusBug, RecoveryHung: true, RecoveryErr: err}
+	}
+	if err != nil {
+		return Result{Status: core.StatusBug, RecoveryErr: err}
+	}
+	if si.Addr+8 > env.Pool().Size() {
+		return Result{Status: core.StatusBug}
+	}
+	if env.Pool().Load64(si.Addr) == si.Var.InitVal {
+		return Result{Status: core.StatusValidatedFP}
+	}
+	return Result{Status: core.StatusBug}
+}
+
+// runRecovery restarts the target on the crash image with write recording
+// enabled and runs its recovery procedure, converting hangs into results
+// instead of panics.
+func runRecovery(factory targets.Factory, img []byte, opts Options) (env *rt.Env, hung bool, err error) {
+	if opts.HangTimeout <= 0 {
+		opts.HangTimeout = 100 * time.Millisecond
+	}
+	env = rt.NewEnv(pmem.FromImage(img), rt.Config{HangTimeout: opts.HangTimeout})
+	env.EnableWriteRecorder()
+	tgt := factory()
+	th := env.Spawn()
+	defer func() {
+		if r := recover(); r != nil {
+			if h, ok := r.(rt.HangError); ok {
+				hung = true
+				err = h
+				return
+			}
+			panic(r)
+		}
+	}()
+	err = tgt.Recover(th)
+	return env, false, err
+}

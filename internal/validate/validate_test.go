@@ -1,0 +1,175 @@
+package validate
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/taint"
+	"github.com/pmrace-go/pmrace/internal/targets"
+	"github.com/pmrace-go/pmrace/internal/workload"
+)
+
+// fakeTarget is a controllable target whose Recover behaviour drives each
+// validation scenario.
+type fakeTarget struct {
+	recover func(t *rt.Thread) error
+}
+
+func (f *fakeTarget) Name() string                       { return "fake" }
+func (f *fakeTarget) PoolSize() uint64                   { return 4096 }
+func (f *fakeTarget) Setup(*rt.Thread) error             { return nil }
+func (f *fakeTarget) Exec(*rt.Thread, workload.Op) error { return nil }
+func (f *fakeTarget) Annotations() int                   { return 0 }
+func (f *fakeTarget) Recover(t *rt.Thread) error         { return f.recover(t) }
+
+func factoryOf(rec func(t *rt.Thread) error) targets.Factory {
+	return func() targets.Target { return &fakeTarget{recover: rec} }
+}
+
+func sideEffectImage(t *testing.T) ([]byte, *core.Inconsistency) {
+	t.Helper()
+	env := rt.NewEnv(pmem.New(4096), rt.Config{})
+	t1, t2 := env.Spawn(), env.Spawn()
+	t1.Store64(64, 5, taint.None, taint.None)
+	v, lab := t2.Load64(64)
+	t2.Store64(512, v, lab, taint.None)
+	ins := env.Detector().Inconsistencies()
+	if len(ins) != 1 {
+		t.Fatalf("setup produced %d inconsistencies", len(ins))
+	}
+	img := env.Pool().CrashImageWith([]pmem.Range{ins[0].SideEffect})
+	return img, ins[0]
+}
+
+func TestInconsistencyBugWhenRecoveryIgnoresIt(t *testing.T) {
+	img, in := sideEffectImage(t)
+	res := Inconsistency(factoryOf(func(*rt.Thread) error { return nil }), img, in, Options{})
+	if res.Status != core.StatusBug {
+		t.Fatalf("status = %v, want bug", res.Status)
+	}
+}
+
+func TestInconsistencyFPWhenRecoveryOverwrites(t *testing.T) {
+	img, in := sideEffectImage(t)
+	f := factoryOf(func(th *rt.Thread) error {
+		th.Store64(512, 0, taint.None, taint.None) // overwrite the side effect
+		th.Persist(512, 8)
+		return nil
+	})
+	res := Inconsistency(f, img, in, Options{})
+	if res.Status != core.StatusValidatedFP {
+		t.Fatalf("status = %v, want validated FP", res.Status)
+	}
+}
+
+func TestInconsistencyWhitelisted(t *testing.T) {
+	img, in := sideEffectImage(t)
+	in.Stack = []string{"pmdk.go:10 pmdk.(*Tx).Alloc"}
+	res := Inconsistency(factoryOf(func(*rt.Thread) error { return nil }), img, in,
+		Options{Whitelist: core.NewWhitelist("pmdk.(*Tx).Alloc")})
+	if res.Status != core.StatusWhitelistedFP {
+		t.Fatalf("status = %v, want whitelisted FP", res.Status)
+	}
+}
+
+func TestInconsistencyRecoveryErrorIsBug(t *testing.T) {
+	img, in := sideEffectImage(t)
+	res := Inconsistency(factoryOf(func(*rt.Thread) error { return errors.New("broken") }), img, in, Options{})
+	if res.Status != core.StatusBug || res.RecoveryErr == nil {
+		t.Fatalf("res = %+v, want bug with error", res)
+	}
+}
+
+func TestInconsistencyRecoveryHangIsBug(t *testing.T) {
+	img, in := sideEffectImage(t)
+	// Recovery spins on a lock that the crash image holds.
+	imgLocked := append([]byte(nil), img...)
+	imgLocked[128] = 1 // lock word at offset 128 = held
+	f := factoryOf(func(th *rt.Thread) error {
+		th.SpinLock(128)
+		return nil
+	})
+	res := Inconsistency(f, imgLocked, in, Options{HangTimeout: 20 * time.Millisecond})
+	if res.Status != core.StatusBug || !res.RecoveryHung {
+		t.Fatalf("res = %+v, want hung bug", res)
+	}
+}
+
+func syncImage(t *testing.T) ([]byte, *core.SyncInconsistency) {
+	t.Helper()
+	env := rt.NewEnv(pmem.New(4096), rt.Config{})
+	env.AnnotateSyncVar(core.SyncVar{Name: "lock", Addr: 128, Size: 8, InitVal: 0})
+	th := env.Spawn()
+	th.SpinLock(128)
+	sis := env.Detector().SyncInconsistencies()
+	if len(sis) != 1 {
+		t.Fatalf("setup produced %d sync inconsistencies", len(sis))
+	}
+	img := env.Pool().CrashImageWith([]pmem.Range{{Off: 128, Len: 8}})
+	return img, sis[0]
+}
+
+func TestSyncBugWhenLockNotReinitialized(t *testing.T) {
+	img, si := syncImage(t)
+	res := Sync(factoryOf(func(*rt.Thread) error { return nil }), img, si, Options{})
+	if res.Status != core.StatusBug {
+		t.Fatalf("status = %v, want bug", res.Status)
+	}
+}
+
+func TestSyncFPWhenRecoveryReinitializes(t *testing.T) {
+	img, si := syncImage(t)
+	f := factoryOf(func(th *rt.Thread) error {
+		th.Store64(128, 0, taint.None, taint.None)
+		th.Persist(128, 8)
+		return nil
+	})
+	res := Sync(f, img, si, Options{})
+	if res.Status != core.StatusValidatedFP {
+		t.Fatalf("status = %v, want validated FP", res.Status)
+	}
+}
+
+func TestSyncWhitelisted(t *testing.T) {
+	img, si := syncImage(t)
+	si.Stack = []string{"checksum.go:5 checksummedRegion"}
+	res := Sync(factoryOf(func(*rt.Thread) error { return nil }), img, si,
+		Options{Whitelist: core.NewWhitelist("checksummedRegion")})
+	if res.Status != core.StatusWhitelistedFP {
+		t.Fatalf("status = %v, want whitelisted FP", res.Status)
+	}
+}
+
+func TestSyncOutOfRangeAddrIsBug(t *testing.T) {
+	img, si := syncImage(t)
+	si.Addr = 1 << 40
+	res := Sync(factoryOf(func(*rt.Thread) error { return nil }), img, si, Options{})
+	if res.Status != core.StatusBug {
+		t.Fatalf("status = %v, want bug", res.Status)
+	}
+}
+
+func TestExternalInconsistencyIsAlwaysBug(t *testing.T) {
+	img, in := sideEffectImage(t)
+	in.External = true
+	// Even a recovery that overwrites everything cannot un-send data.
+	f := factoryOf(func(th *rt.Thread) error {
+		th.Store64(512, 0, taint.None, taint.None)
+		th.Persist(512, 8)
+		return nil
+	})
+	res := Inconsistency(f, img, in, Options{})
+	if res.Status != core.StatusBug {
+		t.Fatalf("external effect must be a bug, got %v", res.Status)
+	}
+	// Unless whitelisted.
+	in.Stack = []string{"proto.go:9 checksummedReply"}
+	res = Inconsistency(f, img, in, Options{Whitelist: core.NewWhitelist("checksummedReply")})
+	if res.Status != core.StatusWhitelistedFP {
+		t.Fatalf("whitelist must still apply, got %v", res.Status)
+	}
+}

@@ -1,0 +1,342 @@
+// Package workload models the structured inputs PMRace feeds to PM systems:
+// sequences of key-value operations distributed across worker threads. PM
+// applications are interactive in-memory systems (key-value stores, indexes),
+// so inputs are operation sequences rather than raw bytes (paper §4.5); the
+// package also provides a memcached-style text encoding so the AFL++-style
+// byte-level baseline mutator has something to mutate, and a parser whose
+// rejects become the "Error" command class of the paper's Table 4.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// OpKind enumerates the operation types of the evaluated systems' driver
+// interfaces.
+type OpKind int
+
+const (
+	// OpGet looks a key up.
+	OpGet OpKind = iota
+	// OpBGet is memcached's bget (batched get); same class as get.
+	OpBGet
+	// OpSet inserts or updates a key.
+	OpSet
+	// OpAdd inserts only if absent.
+	OpAdd
+	// OpReplace updates only if present.
+	OpReplace
+	// OpAppend appends to an existing value.
+	OpAppend
+	// OpPrepend prepends to an existing value.
+	OpPrepend
+	// OpIncr increments a numeric value.
+	OpIncr
+	// OpDecr decrements a numeric value.
+	OpDecr
+	// OpDelete removes a key.
+	OpDelete
+	// OpError is an unparseable command (only produced by Decode).
+	OpError
+)
+
+var opNames = map[OpKind]string{
+	OpGet: "get", OpBGet: "bget", OpSet: "set", OpAdd: "add",
+	OpReplace: "replace", OpAppend: "append", OpPrepend: "prepend",
+	OpIncr: "incr", OpDecr: "decr", OpDelete: "delete", OpError: "error",
+}
+
+// String returns the protocol verb.
+func (k OpKind) String() string {
+	if n, ok := opNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Class returns the paper's Table 4 command class for the kind: "Get*",
+// "Update*", "incr", "decr", "delete" or "Error".
+func (k OpKind) Class() string {
+	switch k {
+	case OpGet, OpBGet:
+		return "Get*"
+	case OpSet, OpAdd, OpReplace, OpAppend, OpPrepend:
+		return "Update*"
+	case OpIncr:
+		return "incr"
+	case OpDecr:
+		return "decr"
+	case OpDelete:
+		return "delete"
+	default:
+		return "Error"
+	}
+}
+
+// Classes lists the Table 4 command classes in presentation order.
+func Classes() []string {
+	return []string{"Get*", "Update*", "incr", "decr", "delete", "Error"}
+}
+
+// Mutates reports whether the operation writes to the store.
+func (k OpKind) Mutates() bool {
+	switch k {
+	case OpSet, OpAdd, OpReplace, OpAppend, OpPrepend, OpIncr, OpDecr, OpDelete:
+		return true
+	}
+	return false
+}
+
+// Op is one key-value operation.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value string
+	// Raw preserves the original text of an unparseable command.
+	Raw string
+}
+
+// String renders the op in the text protocol.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpGet, OpBGet, OpDelete:
+		return fmt.Sprintf("%s %s", o.Kind, o.Key)
+	case OpIncr, OpDecr:
+		v := o.Value
+		if v == "" {
+			v = "1"
+		}
+		return fmt.Sprintf("%s %s %s", o.Kind, o.Key, v)
+	case OpError:
+		return o.Raw
+	default:
+		return fmt.Sprintf("%s %s %s", o.Kind, o.Key, o.Value)
+	}
+}
+
+// Seed is one fuzzer input: an operation sequence distributed over a number
+// of worker threads.
+type Seed struct {
+	Ops     []Op
+	Threads int
+}
+
+// Clone deep-copies the seed.
+func (s *Seed) Clone() *Seed {
+	c := &Seed{Ops: append([]Op(nil), s.Ops...), Threads: s.Threads}
+	return c
+}
+
+// Split distributes the operations round-robin over the seed's threads,
+// preserving per-thread order.
+func (s *Seed) Split() [][]Op {
+	n := s.Threads
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]Op, n)
+	for i, op := range s.Ops {
+		out[i%n] = append(out[i%n], op)
+	}
+	return out
+}
+
+// Encode renders the seed as protocol text, one command per line.
+func (s *Seed) Encode() string {
+	var b strings.Builder
+	for _, op := range s.Ops {
+		b.WriteString(op.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Decode parses protocol text into operations; unparseable lines become
+// OpError entries (counted in the "Error" class of Table 4).
+func Decode(text string, threads int) *Seed {
+	s := &Seed{Threads: threads}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		s.Ops = append(s.Ops, ParseOp(line))
+	}
+	return s
+}
+
+// ParseOp parses one command line.
+func ParseOp(line string) Op {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Op{Kind: OpError, Raw: line}
+	}
+	kind, ok := verbKind(fields[0])
+	if !ok {
+		return Op{Kind: OpError, Raw: line}
+	}
+	switch kind {
+	case OpGet, OpBGet, OpDelete:
+		if len(fields) != 2 || !validKey(fields[1]) {
+			return Op{Kind: OpError, Raw: line}
+		}
+		return Op{Kind: kind, Key: fields[1]}
+	case OpIncr, OpDecr:
+		if len(fields) != 3 || !validKey(fields[1]) {
+			return Op{Kind: OpError, Raw: line}
+		}
+		if _, err := strconv.ParseUint(fields[2], 10, 64); err != nil {
+			return Op{Kind: OpError, Raw: line}
+		}
+		return Op{Kind: kind, Key: fields[1], Value: fields[2]}
+	default:
+		if len(fields) != 3 || !validKey(fields[1]) || !validValue(fields[2]) {
+			return Op{Kind: OpError, Raw: line}
+		}
+		return Op{Kind: kind, Key: fields[1], Value: fields[2]}
+	}
+}
+
+func verbKind(verb string) (OpKind, bool) {
+	for k, n := range opNames {
+		if k != OpError && n == verb {
+			return k, true
+		}
+	}
+	return OpError, false
+}
+
+func validKey(k string) bool {
+	if len(k) == 0 || len(k) > 64 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if c <= ' ' || c > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+func validValue(v string) bool {
+	if len(v) == 0 || len(v) > 1024 {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c < ' ' || c > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// Generator produces random seeds over a bounded key space. A small key
+// space deliberately concentrates operations on shared keys, increasing
+// shared PM accesses and PM alias pairs (paper §4.5: "PMRace prioritizes
+// similar keys as operation parameters").
+type Generator struct {
+	rng      *rand.Rand
+	KeySpace int
+	Threads  int
+}
+
+// NewGenerator creates a generator with the given seed.
+func NewGenerator(seed int64, keySpace, threads int) *Generator {
+	if keySpace <= 0 {
+		keySpace = 16
+	}
+	if threads <= 0 {
+		threads = 4
+	}
+	return &Generator{rng: rand.New(rand.NewSource(seed)), KeySpace: keySpace, Threads: threads}
+}
+
+var genKinds = []OpKind{
+	OpGet, OpBGet, OpSet, OpSet, OpSet, OpAdd, OpReplace,
+	OpAppend, OpPrepend, OpIncr, OpDecr, OpDelete,
+}
+
+// Key returns a random key from the key space.
+func (g *Generator) Key() string { return fmt.Sprintf("key%03d", g.rng.Intn(g.KeySpace)) }
+
+// Value returns a random printable value.
+func (g *Generator) Value() string { return fmt.Sprintf("val%06d", g.rng.Intn(1_000_000)) }
+
+// Op returns one random operation.
+func (g *Generator) Op() Op {
+	kind := genKinds[g.rng.Intn(len(genKinds))]
+	op := Op{Kind: kind, Key: g.Key()}
+	switch kind {
+	case OpIncr, OpDecr:
+		op.Value = strconv.Itoa(1 + g.rng.Intn(9))
+	case OpSet, OpAdd, OpReplace, OpAppend, OpPrepend:
+		op.Value = g.Value()
+	}
+	return op
+}
+
+// NewSeed returns a random seed with n operations.
+func (g *Generator) NewSeed(n int) *Seed {
+	s := &Seed{Threads: g.Threads}
+	for i := 0; i < n; i++ {
+		s.Ops = append(s.Ops, g.Op())
+	}
+	return s
+}
+
+// PopulationSeed returns a seed consisting of insertions with distinct keys,
+// the "load phase" fallback that triggers resizing in PM key-value stores
+// and indexes (paper §4.5).
+func (g *Generator) PopulationSeed(n int) *Seed {
+	s := &Seed{Threads: g.Threads}
+	for i := 0; i < n; i++ {
+		s.Ops = append(s.Ops, Op{Kind: OpSet, Key: fmt.Sprintf("key%03d", i%max(g.KeySpace*4, n)), Value: g.Value()})
+	}
+	return s
+}
+
+// HotKeySeed returns a seed whose operations concentrate on very few keys
+// with a read-modify-write heavy mix (sets, appends, gets). Similar keys
+// maximize shared PM accesses and PM alias pairs (paper §4.5), and chains of
+// updates interleaved with reads are what arm the read-after-write sync
+// points of the PM-aware exploration.
+func (g *Generator) HotKeySeed(n int) *Seed {
+	s := &Seed{Threads: g.Threads}
+	hot := 3
+	if g.KeySpace < hot {
+		hot = g.KeySpace
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key%03d", g.rng.Intn(hot))
+		var op Op
+		switch g.rng.Intn(8) {
+		case 0, 1, 2:
+			op = Op{Kind: OpSet, Key: key, Value: g.Value()}
+		case 3, 4:
+			op = Op{Kind: OpAppend, Key: key, Value: "x"}
+		case 5:
+			op = Op{Kind: OpPrepend, Key: key, Value: "y"}
+		case 6:
+			op = Op{Kind: OpReplace, Key: key, Value: g.Value()}
+		default:
+			op = Op{Kind: OpGet, Key: key}
+		}
+		s.Ops = append(s.Ops, op)
+	}
+	return s
+}
+
+// Rand exposes the generator's RNG for the mutator.
+func (g *Generator) Rand() *rand.Rand { return g.rng }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpKindStringsAndClasses(t *testing.T) {
+	cases := []struct {
+		kind  OpKind
+		verb  string
+		class string
+	}{
+		{OpGet, "get", "Get*"},
+		{OpBGet, "bget", "Get*"},
+		{OpSet, "set", "Update*"},
+		{OpAdd, "add", "Update*"},
+		{OpReplace, "replace", "Update*"},
+		{OpAppend, "append", "Update*"},
+		{OpPrepend, "prepend", "Update*"},
+		{OpIncr, "incr", "incr"},
+		{OpDecr, "decr", "decr"},
+		{OpDelete, "delete", "delete"},
+		{OpError, "error", "Error"},
+	}
+	for _, c := range cases {
+		if c.kind.String() != c.verb {
+			t.Fatalf("%v verb = %q, want %q", c.kind, c.kind.String(), c.verb)
+		}
+		if c.kind.Class() != c.class {
+			t.Fatalf("%v class = %q, want %q", c.kind, c.kind.Class(), c.class)
+		}
+	}
+	if len(Classes()) != 6 {
+		t.Fatalf("classes = %v", Classes())
+	}
+}
+
+func TestMutates(t *testing.T) {
+	if OpGet.Mutates() || OpBGet.Mutates() || OpError.Mutates() {
+		t.Fatalf("reads must not mutate")
+	}
+	for _, k := range []OpKind{OpSet, OpAdd, OpReplace, OpAppend, OpPrepend, OpIncr, OpDecr, OpDelete} {
+		if !k.Mutates() {
+			t.Fatalf("%v must mutate", k)
+		}
+	}
+}
+
+func TestParseOpValidCommands(t *testing.T) {
+	cases := map[string]Op{
+		"get key1":         {Kind: OpGet, Key: "key1"},
+		"bget key1":        {Kind: OpBGet, Key: "key1"},
+		"set key1 v1":      {Kind: OpSet, Key: "key1", Value: "v1"},
+		"add key1 v1":      {Kind: OpAdd, Key: "key1", Value: "v1"},
+		"replace key1 v1":  {Kind: OpReplace, Key: "key1", Value: "v1"},
+		"append key1 v1":   {Kind: OpAppend, Key: "key1", Value: "v1"},
+		"prepend key1 v1":  {Kind: OpPrepend, Key: "key1", Value: "v1"},
+		"incr counter 5":   {Kind: OpIncr, Key: "counter", Value: "5"},
+		"decr counter 2":   {Kind: OpDecr, Key: "counter", Value: "2"},
+		"delete key1":      {Kind: OpDelete, Key: "key1"},
+		"  set key1 v1   ": {Kind: OpSet, Key: "key1", Value: "v1"},
+	}
+	for line, want := range cases {
+		got := ParseOp(strings.TrimSpace(line))
+		if got != want {
+			t.Fatalf("ParseOp(%q) = %+v, want %+v", line, got, want)
+		}
+	}
+}
+
+func TestParseOpInvalidCommands(t *testing.T) {
+	invalid := []string{
+		"",
+		"bogus key1",
+		"get",
+		"get a b",
+		"set key1",
+		"set key1 v1 extra",
+		"incr key1 notanumber",
+		"incr key1",
+		"set \x01bad v1",
+		"delete " + strings.Repeat("k", 100),
+	}
+	for _, line := range invalid {
+		if got := ParseOp(line); got.Kind != OpError {
+			t.Fatalf("ParseOp(%q) = %+v, want error", line, got)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := NewGenerator(7, 8, 4)
+	s := g.NewSeed(50)
+	decoded := Decode(s.Encode(), s.Threads)
+	if len(decoded.Ops) != len(s.Ops) {
+		t.Fatalf("round trip lost ops: %d vs %d", len(decoded.Ops), len(s.Ops))
+	}
+	for i := range s.Ops {
+		got, want := decoded.Ops[i], s.Ops[i]
+		if got.Kind != want.Kind || got.Key != want.Key {
+			t.Fatalf("op %d: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestDecodeSkipsBlankLines(t *testing.T) {
+	s := Decode("\n\nget key1\n\n\nset key2 v\n", 2)
+	if len(s.Ops) != 2 {
+		t.Fatalf("ops = %+v", s.Ops)
+	}
+}
+
+func TestSeedCloneIndependent(t *testing.T) {
+	g := NewGenerator(1, 8, 4)
+	s := g.NewSeed(5)
+	c := s.Clone()
+	c.Ops[0].Key = "changed"
+	if s.Ops[0].Key == "changed" {
+		t.Fatalf("clone must not share backing array")
+	}
+}
+
+func TestSplitRoundRobin(t *testing.T) {
+	s := &Seed{Threads: 3}
+	for i := 0; i < 7; i++ {
+		s.Ops = append(s.Ops, Op{Kind: OpGet, Key: string(rune('a' + i))})
+	}
+	parts := s.Split()
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if len(parts[0]) != 3 || len(parts[1]) != 2 || len(parts[2]) != 2 {
+		t.Fatalf("lengths = %d %d %d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+	if parts[0][0].Key != "a" || parts[1][0].Key != "b" || parts[0][1].Key != "d" {
+		t.Fatalf("round-robin order broken: %+v", parts)
+	}
+}
+
+func TestSplitZeroThreads(t *testing.T) {
+	s := &Seed{Ops: []Op{{Kind: OpGet, Key: "k"}}}
+	parts := s.Split()
+	if len(parts) != 1 || len(parts[0]) != 1 {
+		t.Fatalf("zero threads must fall back to one: %+v", parts)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(42, 8, 4).NewSeed(20)
+	b := NewGenerator(42, 8, 4).NewSeed(20)
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("same seed must generate same ops")
+		}
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	g := NewGenerator(1, 0, 0)
+	if g.KeySpace <= 0 || g.Threads <= 0 {
+		t.Fatalf("defaults not applied: %+v", g)
+	}
+}
+
+func TestPopulationSeedAllInserts(t *testing.T) {
+	g := NewGenerator(1, 8, 4)
+	s := g.PopulationSeed(100)
+	if len(s.Ops) != 100 {
+		t.Fatalf("ops = %d", len(s.Ops))
+	}
+	keys := map[string]bool{}
+	for _, op := range s.Ops {
+		if op.Kind != OpSet {
+			t.Fatalf("population seed must be all inserts, got %v", op.Kind)
+		}
+		keys[op.Key] = true
+	}
+	if len(keys) < 50 {
+		t.Fatalf("population seed must use many distinct keys, got %d", len(keys))
+	}
+}
+
+// Property: every generated op encodes to text that parses back to an
+// equivalent op — the operation mutator always produces valid commands
+// (unlike the AFL++ byte mutator, per Table 4).
+func TestGeneratedOpsAlwaysParseProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		g := NewGenerator(seed, 8, 4)
+		s := g.NewSeed(int(n%64) + 1)
+		decoded := Decode(s.Encode(), 4)
+		if len(decoded.Ops) != len(s.Ops) {
+			return false
+		}
+		for i := range decoded.Ops {
+			if decoded.Ops[i].Kind == OpError {
+				return false
+			}
+			if decoded.Ops[i].Kind != s.Ops[i].Kind || decoded.Ops[i].Key != s.Ops[i].Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Split never loses or duplicates operations.
+func TestSplitPreservesOpsProperty(t *testing.T) {
+	f := func(n uint8, threads uint8) bool {
+		g := NewGenerator(int64(n), 8, int(threads%8)+1)
+		s := g.NewSeed(int(n))
+		total := 0
+		for _, part := range s.Split() {
+			total += len(part)
+		}
+		return total == len(s.Ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
