@@ -8,6 +8,7 @@
 package pmrace_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -160,23 +161,31 @@ func BenchmarkFigure10Checkpoints(b *testing.B) {
 }
 
 // BenchmarkFuzzThroughput measures raw campaign-execution throughput on
-// P-CLHT (the engine the evaluation's wall-clock numbers stand on).
+// P-CLHT (the engine the evaluation's wall-clock numbers stand on) across
+// worker counts. The PM-aware strategy stalls writers to open race windows,
+// so even on few cores extra workers overlap those stalls; the sweep checks
+// the striped pool and lock-free coverage actually let them.
 func BenchmarkFuzzThroughput(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		fz, err := fuzz.New("pclht", fuzz.Options{
-			MaxExecs: 20,
-			Duration: 30 * time.Second,
-			Workers:  2,
-			Seed:     int64(i + 1),
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fz, err := fuzz.New("pclht", fuzz.Options{
+					MaxExecs: 20,
+					Duration: 30 * time.Second,
+					Workers:  workers,
+					Seed:     int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := fz.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ExecsPerSec, "execs/s")
+			}
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		res, err := fz.Run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(res.ExecsPerSec, "execs/s")
 	}
 }
 

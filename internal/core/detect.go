@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/pmrace-go/pmrace/internal/pmem"
 	"github.com/pmrace-go/pmrace/internal/site"
@@ -175,6 +176,9 @@ type Detector struct {
 	labels *taint.Table
 
 	syncVars []SyncVar
+	// hasSync mirrors len(syncVars) > 0; the store hook polls it on every
+	// store, so it is atomic instead of taking mu.
+	hasSync atomic.Bool
 
 	candidates map[[2]uint32]*Candidate // (writeSite, readSite)
 	candList   [][2]uint32
@@ -250,13 +254,12 @@ func (d *Detector) AnnotateSyncVar(v SyncVar) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.syncVars = append(d.syncVars, v)
+	d.hasSync.Store(true)
 }
 
 // HasSyncVars cheaply reports whether any annotation is registered.
 func (d *Detector) HasSyncVars() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.syncVars) > 0
+	return d.hasSync.Load()
 }
 
 // SyncVars returns the registered annotations.

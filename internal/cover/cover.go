@@ -6,16 +6,24 @@
 // bitmaps, mirroring AFL-style shared-memory coverage maps.
 package cover
 
-import "sync"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // MapSize is the number of bits in each coverage bitmap.
 const MapSize = 1 << 16
 
-// Bitmap is a fixed-size coverage bitmap safe for concurrent use.
+// wordBits is the width of one bitmap word.
+const wordBits = 64
+
+// Bitmap is a fixed-size coverage bitmap safe for concurrent use. The hot
+// path (Set) is lock-free: the bitmap is an array of atomic 64-bit words and
+// a bit is raised with a compare-and-swap loop, so coverage recording from
+// concurrent fuzzing workers and driver threads never contends on a mutex.
 type Bitmap struct {
-	mu   sync.Mutex
-	bits [MapSize / 8]byte
-	n    int
+	words [MapSize / wordBits]atomic.Uint64
+	n     atomic.Int64
 }
 
 // NewBitmap creates an empty bitmap.
@@ -25,52 +33,57 @@ func NewBitmap() *Bitmap { return &Bitmap{} }
 // unset.
 func (b *Bitmap) Set(hash uint64) bool {
 	idx := hash % MapSize
-	byteIdx, mask := idx/8, byte(1)<<(idx%8)
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.bits[byteIdx]&mask != 0 {
-		return false
+	w := &b.words[idx/wordBits]
+	mask := uint64(1) << (idx % wordBits)
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			// The CAS makes exactly one caller the setter of this
+			// bit, so the counter stays exact under concurrency.
+			b.n.Add(1)
+			return true
+		}
 	}
-	b.bits[byteIdx] |= mask
-	b.n++
-	return true
 }
 
 // Count returns the number of set bits.
-func (b *Bitmap) Count() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.n
-}
+func (b *Bitmap) Count() int { return int(b.n.Load()) }
 
 // Merge ORs other into b and returns how many bits were newly set in b.
 func (b *Bitmap) Merge(other *Bitmap) int {
-	other.mu.Lock()
-	src := other.bits
-	other.mu.Unlock()
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	newBits := 0
-	for i := range src {
-		diff := src[i] &^ b.bits[i]
-		if diff == 0 {
+	for i := range other.words {
+		src := other.words[i].Load()
+		if src == 0 {
 			continue
 		}
-		b.bits[i] |= diff
-		for ; diff != 0; diff &= diff - 1 {
-			newBits++
+		w := &b.words[i]
+		for {
+			old := w.Load()
+			diff := src &^ old
+			if diff == 0 {
+				break
+			}
+			if w.CompareAndSwap(old, old|diff) {
+				newBits += bits.OnesCount64(diff)
+				break
+			}
 		}
 	}
-	b.n += newBits
+	b.n.Add(int64(newBits))
 	return newBits
 }
 
-// Reset clears the bitmap.
+// Reset clears the bitmap. Reset is not atomic with respect to concurrent
+// Set/Merge calls; callers reset only between executions.
 func (b *Bitmap) Reset() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.bits = [MapSize / 8]byte{}
-	b.n = 0
+	for i := range b.words {
+		b.words[i].Store(0)
+	}
+	b.n.Store(0)
 }
 
 // Coverage bundles the two PMRace feedback metrics.

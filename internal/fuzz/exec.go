@@ -79,6 +79,12 @@ type Executor struct {
 
 	snapMu sync.Mutex
 	snap   *pmem.Snapshot
+
+	// pools recycles checkpoint pools across executions: a recycled pool
+	// is already based on the shared snapshot, so restoring it copies only
+	// the lines the previous execution dirtied instead of the whole image
+	// (and skips the allocation entirely).
+	pools sync.Pool
 }
 
 // NewExecutor creates an executor for the target factory.
@@ -130,7 +136,12 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 		if err != nil {
 			return nil, err
 		}
-		pool = pmem.NewFromSnapshot(snap)
+		if v := x.pools.Get(); v != nil {
+			pool = v.(*pmem.Pool)
+			pool.Restore(snap) // dirty-line restore
+		} else {
+			pool = pmem.NewFromSnapshot(snap)
+		}
 		fromCheckpoint = true
 	} else {
 		pool = x.newPool(tgt.PoolSize())
@@ -229,6 +240,11 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 	if pm, ok := strat.(*sched.PMAware); ok {
 		o := pm.Outcome()
 		res.Outcome = &o
+	}
+	if fromCheckpoint {
+		// Hand the pool back for the next execution; nothing retains it
+		// (crash images are independent copies).
+		x.pools.Put(pool)
 	}
 	res.Duration = time.Since(start)
 	return res, nil

@@ -192,7 +192,6 @@ type Fuzzer struct {
 	corpusErr  error
 	redSites   map[string]struct{}
 	mutator    Mutator
-	rng        *rand.Rand
 	start      time.Time
 }
 
@@ -239,7 +238,6 @@ func NewWithFactory(factory targets.Factory, opts Options) *Fuzzer {
 		redSites:  make(map[string]struct{}),
 		candSeen:  make(map[[2]uint32]struct{}),
 		mutator:   mut,
-		rng:       rand.New(rand.NewSource(opts.Seed)),
 	}
 }
 
@@ -267,6 +265,10 @@ func (f *Fuzzer) Run() (*Result, error) {
 	}
 	f.seedCount = len(f.corpus)
 
+	// Each worker owns a private seeded RNG: nothing on the hot path ever
+	// touches the locked global math/rand source, and a campaign at a given
+	// (seed, worker count) draws the same per-worker random streams even
+	// though cross-worker interleaving stays nondeterministic.
 	var wg sync.WaitGroup
 	errCh := make(chan error, f.opts.Workers)
 	for w := 0; w < f.opts.Workers; w++ {
@@ -452,6 +454,16 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy) (bool, error)
 	for _, cap := range syncToValidate {
 		r := validate.Sync(f.factory, cap.Img, cap.Si, vopts)
 		syncJudged = append(syncJudged, r.Status)
+	}
+
+	// Validation rebuilds pools from the images (copying them), and
+	// duplicate findings never consult theirs, so every captured image can
+	// go back to the buffer pool now.
+	for _, cap := range res.Inconsistencies {
+		pmem.RecycleImage(cap.Img)
+	}
+	for _, cap := range res.Syncs {
+		pmem.RecycleImage(cap.Img)
 	}
 
 	f.mu.Lock()

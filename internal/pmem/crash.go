@@ -1,14 +1,46 @@
 package pmem
 
+import (
+	"math/bits"
+	"sync"
+)
+
+// imageBufs recycles crash-image byte slices. Every detected inconsistency
+// duplicates the whole pool (paper §4.4); on busy campaigns that is the
+// dominant allocation, so consumers hand exhausted images back through
+// RecycleImage instead of leaving them to the garbage collector.
+var imageBufs sync.Pool
+
+// getImageBuf returns a zero-copy-reusable buffer of length n, either
+// recycled or freshly allocated. Callers overwrite the full length.
+func getImageBuf(n uint64) []byte {
+	if v := imageBufs.Get(); v != nil {
+		if b := v.([]byte); uint64(cap(b)) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// RecycleImage returns a crash image obtained from CrashImage or
+// CrashImageWith to the buffer pool. The caller must not use the slice
+// afterwards.
+func RecycleImage(img []byte) {
+	if cap(img) == 0 {
+		return
+	}
+	imageBufs.Put(img[:cap(img)])
+}
+
 // CrashImage returns a copy of the persisted image: the bytes that survive a
 // power failure at this instant. Everything still sitting in the volatile
 // cache overlay is lost, exactly as under the ADR failure model assumed by
 // the paper (§3.1).
 func (p *Pool) CrashImage() []byte {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	img := make([]byte, p.size)
+	img := getImageBuf(p.size)
+	p.guard.Lock()
 	copy(img, p.persisted)
+	p.guard.Unlock()
 	return img
 }
 
@@ -18,9 +50,8 @@ func (p *Pool) CrashImage() []byte {
 // durable side effect has reached PM (its flush completed) while the
 // non-persisted data it depends on has not (paper Figure 3).
 func (p *Pool) CrashImageWith(extra []Range) []byte {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	img := make([]byte, p.size)
+	img := getImageBuf(p.size)
+	p.guard.Lock()
 	copy(img, p.persisted)
 	for _, r := range extra {
 		if r.Off+r.Len > p.size {
@@ -28,6 +59,7 @@ func (p *Pool) CrashImageWith(extra []Range) []byte {
 		}
 		copy(img[r.Off:r.End()], p.cache[r.Off:r.End()])
 	}
+	p.guard.Unlock()
 	return img
 }
 
@@ -48,8 +80,8 @@ type Snapshot struct {
 // per-word metadata. Pending (flushed but unfenced) lines are not captured;
 // checkpoints are taken at quiescent points where no flush is in flight.
 func (p *Pool) Snapshot() *Snapshot {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.guard.Lock()
+	defer p.guard.Unlock()
 	s := &Snapshot{
 		size:      p.size,
 		cache:     append([]byte(nil), p.cache...),
@@ -64,20 +96,60 @@ func (p *Pool) Snapshot() *Snapshot {
 // Restore resets the pool to a previously captured snapshot. The last-access
 // records and pending flush sets are cleared: the restored pool behaves like
 // a freshly checkpointed process.
+//
+// When the pool's state is already based on the same snapshot (it was
+// created by NewFromSnapshot or previously restored to it), only the cache
+// lines touched since then are copied back, so the cost of the fork-server
+// substitute is proportional to one execution's dirty set rather than the
+// pool size.
 func (p *Pool) Restore(s *Snapshot) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.guard.Lock()
+	defer p.guard.Unlock()
 	if s.size != p.size {
 		panic("pmem: snapshot size mismatch")
 	}
-	copy(p.cache, s.cache)
-	copy(p.persisted, s.persisted)
-	copy(p.meta, s.meta)
-	copy(p.shadow, s.shadow)
-	for i := range p.last {
-		p.last[i] = Accessor{}
+	if p.baseSnap == s {
+		p.restoreTouched(s)
+	} else {
+		copy(p.cache, s.cache)
+		copy(p.persisted, s.persisted)
+		copy(p.meta, s.meta)
+		copy(p.shadow, s.shadow)
+		for i := range p.last {
+			p.last[i] = Accessor{}
+		}
+		for i := range p.touched {
+			p.touched[i].Store(0)
+		}
 	}
 	p.pending = make(map[ThreadID][]stagedLine)
+	p.baseSnap = s
+}
+
+// restoreTouched copies back only the lines recorded in the touched bitmap.
+// The caller holds the guard exclusively.
+func (p *Pool) restoreTouched(s *Snapshot) {
+	for wi := range p.touched {
+		w := p.touched[wi].Load()
+		if w == 0 {
+			continue
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			line := (Addr(wi)*64 + Addr(b)) * LineSize
+			end := line + LineSize
+			copy(p.cache[line:end], s.cache[line:end])
+			copy(p.persisted[line:end], s.persisted[line:end])
+			wFirst, wLast := line/WordSize, (end-1)/WordSize
+			copy(p.meta[wFirst:wLast+1], s.meta[wFirst:wLast+1])
+			copy(p.shadow[wFirst:wLast+1], s.shadow[wFirst:wLast+1])
+			for i := wFirst; i <= wLast; i++ {
+				p.last[i] = Accessor{}
+			}
+		}
+		p.touched[wi].Store(0)
+	}
 }
 
 // NewFromSnapshot creates an independent pool initialized from a snapshot,

@@ -12,12 +12,24 @@
 // a store epoch used to invalidate stale inconsistency-candidate events, plus
 // a shadow taint label and the last-accessor triple used for PM alias pair
 // coverage.
+//
+// Locking. The pool serializes individual accesses at cache-line
+// granularity: a fixed array of stripe mutexes is indexed by line number, so
+// simulated threads touching disjoint lines proceed in parallel. Whole-pool
+// operations (Snapshot, Restore, crash-image capture) take a writer-
+// preference guard (sync.RWMutex) exclusively, while every striped fast path
+// holds the guard shared — preserving the single-lock atomicity the
+// checkpoint and crash machinery rely on. Thread interleaving in the
+// simulation happens between hook calls, never inside one, which mirrors the
+// per-instruction atomicity assumed by PMRace's interleaving exploration.
 package pmem
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // Addr is a byte offset within a pool. Pools are position independent: all
@@ -37,6 +49,10 @@ const (
 	WordSize = 8
 	// LineSize is the cache-line granularity of flush operations.
 	LineSize = 64
+	// numStripes is the number of line-lock stripes. A power of two so the
+	// stripe index is a mask; 64 stripes let a full stripe set be tracked
+	// in one uint64 mask and acquired in ascending order (deadlock-free).
+	numStripes = 64
 )
 
 // Range is a byte range [Off, Off+Len) within a pool.
@@ -87,26 +103,40 @@ type stagedLine struct {
 
 // Pool is a simulated persistent memory pool.
 //
-// All methods are safe for concurrent use. The pool serializes individual
-// accesses with a single mutex: thread interleaving in the simulation happens
-// between hook calls, never inside one, which mirrors the per-instruction
-// atomicity assumed by PMRace's interleaving exploration.
+// All methods are safe for concurrent use.
 type Pool struct {
-	mu        sync.Mutex
+	// guard is the writer-preference guard: striped fast paths hold it
+	// shared, whole-pool operations hold it exclusively. Go's RWMutex
+	// blocks new readers once a writer waits, so Snapshot/Restore cannot
+	// starve under a steady hook stream.
+	guard   sync.RWMutex
+	stripes [numStripes]sync.Mutex
+
 	size      uint64
 	cache     []byte
 	persisted []byte
 	meta      []WordMeta
 	shadow    []uint32 // taint label per word
 	last      []Accessor
+
+	pendingMu sync.Mutex
 	pending   map[ThreadID][]stagedLine
 
-	// stores counts all store operations, used by tests and stats.
-	stores uint64
-	// flushes and fences count persistency operations.
-	flushes uint64
-	fences  uint64
+	// touched is a bitmap with one bit per cache line, set when the line's
+	// data, metadata, shadow labels or accessor records changed since the
+	// last Restore. Checkpoint restore copies back only touched lines, so
+	// its cost is proportional to the execution's dirty set instead of the
+	// pool size.
+	touched  []atomic.Uint64
+	baseSnap *Snapshot // snapshot the pool state is based on (guarded by guard)
 
+	// stores counts all store operations, used by tests and stats.
+	stores atomic.Uint64
+	// flushes and fences count persistency operations.
+	flushes atomic.Uint64
+	fences  atomic.Uint64
+
+	evictMu   sync.Mutex
 	evictRNG  *rand.Rand
 	evictProb float64
 	eadr      bool
@@ -143,6 +173,7 @@ func NewWithOptions(size uint64, opt Options) *Pool {
 	if rem := size % LineSize; rem != 0 {
 		size += LineSize - rem
 	}
+	lines := size / LineSize
 	p := &Pool{
 		size:      size,
 		cache:     make([]byte, size),
@@ -151,6 +182,7 @@ func NewWithOptions(size uint64, opt Options) *Pool {
 		shadow:    make([]uint32, size/WordSize),
 		last:      make([]Accessor, size/WordSize),
 		pending:   make(map[ThreadID][]stagedLine),
+		touched:   make([]atomic.Uint64, (lines+63)/64),
 	}
 	for i := range p.meta {
 		p.meta[i].Writer = NoThread
@@ -187,43 +219,122 @@ func (p *Pool) check(addr Addr, n uint64) {
 
 func lineOf(addr Addr) Addr { return addr &^ (LineSize - 1) }
 
+// --- striped locking ---
+
+// lockSpan acquires the stripe mutexes covering [addr, addr+n) in ascending
+// stripe order and returns the stripe mask to pass to unlockSpan. The caller
+// must hold guard shared (RLock) and must have bounds-checked the range.
+func (p *Pool) lockSpan(addr Addr, n uint64) uint64 {
+	if n == 0 {
+		n = 1
+	}
+	first := addr / LineSize
+	last := (addr + n - 1) / LineSize
+	if first == last {
+		s := first % numStripes
+		p.stripes[s].Lock()
+		return 1 << s
+	}
+	var mask uint64
+	if last-first >= numStripes-1 {
+		mask = ^uint64(0)
+	} else {
+		for l := first; l <= last; l++ {
+			mask |= 1 << (l % numStripes)
+		}
+	}
+	for m := mask; m != 0; {
+		i := bits.TrailingZeros64(m)
+		p.stripes[i].Lock()
+		m &^= 1 << i
+	}
+	return mask
+}
+
+// unlockSpan releases the stripes acquired by lockSpan.
+func (p *Pool) unlockSpan(mask uint64) {
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		p.stripes[i].Unlock()
+		mask &^= 1 << i
+	}
+}
+
+// markTouched records that the lines covering [addr, addr+n) diverged from
+// the base snapshot. Bits are set with a CAS loop because one touched word
+// covers 64 lines spread across all stripes.
+func (p *Pool) markTouched(addr Addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	first := addr / LineSize
+	last := (addr + n - 1) / LineSize
+	for l := first; l <= last; l++ {
+		w := &p.touched[l/64]
+		mask := uint64(1) << (l % 64)
+		for {
+			old := w.Load()
+			if old&mask != 0 {
+				break
+			}
+			if w.CompareAndSwap(old, old|mask) {
+				break
+			}
+		}
+	}
+}
+
+// --- loads ---
+
 // Load64 reads an 8-byte little-endian word from the cache image.
 func (p *Pool) Load64(addr Addr) uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, 8)
-	return le64(p.cache[addr:])
+	p.guard.RLock()
+	m := p.lockSpan(addr, 8)
+	v := le64(p.cache[addr:])
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return v
 }
 
 // LoadBytes copies n bytes starting at addr from the cache image.
 func (p *Pool) LoadBytes(addr Addr, n uint64) []byte {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, n)
 	out := make([]byte, n)
+	p.guard.RLock()
+	m := p.lockSpan(addr, n)
 	copy(out, p.cache[addr:addr+n])
+	p.unlockSpan(m)
+	p.guard.RUnlock()
 	return out
 }
+
+// --- stores ---
 
 // Store64 writes an 8-byte word to the cache image and marks the containing
 // words dirty on behalf of thread t at instruction site.
 func (p *Pool) Store64(t ThreadID, site uint32, addr Addr, val uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, 8)
+	p.guard.RLock()
+	m := p.lockSpan(addr, 8)
 	putLE64(p.cache[addr:], val)
 	p.markStored(t, site, addr, 8)
+	p.unlockSpan(m)
+	p.guard.RUnlock()
 	p.maybeEvict()
 }
 
 // StoreBytes writes data to the cache image and marks the covered words
 // dirty.
 func (p *Pool) StoreBytes(t ThreadID, site uint32, addr Addr, data []byte) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.check(addr, uint64(len(data)))
+	n := uint64(len(data))
+	p.check(addr, n)
+	p.guard.RLock()
+	m := p.lockSpan(addr, n)
 	copy(p.cache[addr:], data)
-	p.markStored(t, site, addr, uint64(len(data)))
+	p.markStored(t, site, addr, n)
+	p.unlockSpan(m)
+	p.guard.RUnlock()
 	p.maybeEvict()
 }
 
@@ -231,68 +342,85 @@ func (p *Pool) StoreBytes(t ThreadID, site uint32, addr Addr, data []byte) {
 // hierarchy and is considered persisted immediately (PM_CLEAN per the paper's
 // checker semantics). The value still becomes visible in the cache image.
 func (p *Pool) NTStore64(t ThreadID, site uint32, addr Addr, val uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, 8)
+	p.guard.RLock()
+	m := p.lockSpan(addr, 8)
 	putLE64(p.cache[addr:], val)
 	putLE64(p.persisted[addr:], val)
 	p.markNT(t, site, addr, 8)
+	p.unlockSpan(m)
+	p.guard.RUnlock()
 }
 
 // NTStoreBytes performs a non-temporal store of a byte range.
 func (p *Pool) NTStoreBytes(t ThreadID, site uint32, addr Addr, data []byte) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.check(addr, uint64(len(data)))
+	n := uint64(len(data))
+	p.check(addr, n)
+	p.guard.RLock()
+	m := p.lockSpan(addr, n)
 	copy(p.cache[addr:], data)
 	copy(p.persisted[addr:], data)
-	p.markNT(t, site, addr, uint64(len(data)))
+	p.markNT(t, site, addr, n)
+	p.unlockSpan(m)
+	p.guard.RUnlock()
 }
 
 // CAS64 performs an atomic compare-and-swap on a word, returning whether the
 // swap happened and the value observed. A successful CAS is a store (the
 // word becomes dirty); a failed CAS is only a load.
 func (p *Pool) CAS64(t ThreadID, site uint32, addr Addr, old, new uint64) (bool, uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, 8)
+	p.guard.RLock()
+	m := p.lockSpan(addr, 8)
 	cur := le64(p.cache[addr:])
-	if cur != old {
-		return false, cur
+	ok := cur == old
+	if ok {
+		putLE64(p.cache[addr:], new)
+		p.markStored(t, site, addr, 8)
 	}
-	putLE64(p.cache[addr:], new)
-	p.markStored(t, site, addr, 8)
-	return true, cur
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return ok, cur
 }
 
 // Flush simulates CLWB over the cache lines covering [addr, addr+n): the
 // current cache contents of each line are staged on thread t and will reach
 // the persistence domain at t's next Fence. Words stored after the flush but
-// before the fence keep their dirty state (their epoch advanced).
+// before the fence keep their dirty state (their epoch advanced). Each line
+// is captured atomically; distinct lines of one flush may interleave with
+// concurrent stores, matching per-line CLWB semantics.
 func (p *Pool) Flush(t ThreadID, addr Addr, n uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, n)
-	p.flushes++
+	p.flushes.Add(1)
+	p.guard.RLock()
 	for line := lineOf(addr); line < addr+n; line += LineSize {
 		var s stagedLine
 		s.line = line
+		m := p.lockSpan(line, LineSize)
 		copy(s.data[:], p.cache[line:line+LineSize])
 		for w := 0; w < LineSize/WordSize; w++ {
 			s.epochs[w] = p.meta[(line+Addr(w*WordSize))/WordSize].Epoch
 		}
+		p.unlockSpan(m)
+		p.pendingMu.Lock()
 		p.pending[t] = append(p.pending[t], s)
+		p.pendingMu.Unlock()
 	}
+	p.guard.RUnlock()
 }
 
 // Fence simulates SFENCE on thread t: every line staged by t's previous
 // flushes is committed to the persisted image, and each word whose epoch is
 // unchanged since the flush becomes clean.
 func (p *Pool) Fence(t ThreadID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.fences++
-	for _, s := range p.pending[t] {
+	p.fences.Add(1)
+	p.guard.RLock()
+	p.pendingMu.Lock()
+	staged := p.pending[t]
+	delete(p.pending, t)
+	p.pendingMu.Unlock()
+	for _, s := range staged {
+		m := p.lockSpan(s.line, LineSize)
 		copy(p.persisted[s.line:s.line+LineSize], s.data[:])
 		for w := 0; w < LineSize/WordSize; w++ {
 			wi := (s.line + Addr(w*WordSize)) / WordSize
@@ -301,28 +429,35 @@ func (p *Pool) Fence(t ThreadID) {
 				p.meta[wi].CleanEpoch = p.meta[wi].Epoch
 			}
 		}
+		p.markTouched(s.line, LineSize)
+		p.unlockSpan(m)
 	}
-	delete(p.pending, t)
+	p.guard.RUnlock()
 }
 
 // PersistNow force-persists a byte range, marking its words clean. It models
 // flush immediately followed by fence and is used by recovery code and tests.
 func (p *Pool) PersistNow(t ThreadID, addr Addr, n uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, n)
-	p.flushes++
-	p.fences++
+	p.flushes.Add(1)
+	p.fences.Add(1)
+	p.guard.RLock()
 	for line := lineOf(addr); line < addr+n; line += LineSize {
+		m := p.lockSpan(line, LineSize)
 		copy(p.persisted[line:line+LineSize], p.cache[line:line+LineSize])
 		for w := 0; w < LineSize/WordSize; w++ {
-			m := &p.meta[(line+Addr(w*WordSize))/WordSize]
-			m.Dirty = false
-			m.CleanEpoch = m.Epoch
+			mw := &p.meta[(line+Addr(w*WordSize))/WordSize]
+			mw.Dirty = false
+			mw.CleanEpoch = mw.Epoch
 		}
+		p.markTouched(line, LineSize)
+		p.unlockSpan(m)
 	}
+	p.guard.RUnlock()
 }
 
+// markStored marks the words covering a store dirty. Callers hold the guard
+// shared and the stripes covering the range.
 func (p *Pool) markStored(t ThreadID, site uint32, addr Addr, n uint64) {
 	if p.eadr {
 		// Persistent caches: every store is durable at visibility.
@@ -331,7 +466,7 @@ func (p *Pool) markStored(t ThreadID, site uint32, addr Addr, n uint64) {
 		p.markNT(t, site, addr, n)
 		return
 	}
-	p.stores++
+	p.stores.Add(1)
 	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
 		m := &p.meta[wi]
 		m.Dirty = true
@@ -339,10 +474,11 @@ func (p *Pool) markStored(t ThreadID, site uint32, addr Addr, n uint64) {
 		m.Site = site
 		m.Epoch++
 	}
+	p.markTouched(addr, n)
 }
 
 func (p *Pool) markNT(t ThreadID, site uint32, addr Addr, n uint64) {
-	p.stores++
+	p.stores.Add(1)
 	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
 		m := &p.meta[wi]
 		m.Dirty = false
@@ -351,37 +487,61 @@ func (p *Pool) markNT(t ThreadID, site uint32, addr Addr, n uint64) {
 		m.Epoch++
 		m.CleanEpoch = m.Epoch
 	}
+	p.markTouched(addr, n)
 }
 
+// maybeEvict runs after a store completes (no stripes held): with the
+// configured probability it picks a random line and, if dirty, writes it back
+// to the persisted image. The dirty bits stay set: programs must not depend
+// on eviction.
 func (p *Pool) maybeEvict() {
-	if p.evictRNG == nil || p.evictRNG.Float64() >= p.evictProb {
+	if p.evictRNG == nil {
 		return
 	}
-	// Pick a random line; if it contains dirty words, write it back.
-	// The dirty bits stay set: programs must not depend on eviction.
-	line := Addr(p.evictRNG.Int63n(int64(p.size/LineSize))) * LineSize
+	p.evictMu.Lock()
+	hit := p.evictRNG.Float64() < p.evictProb
+	var line Addr
+	if hit {
+		line = Addr(p.evictRNG.Int63n(int64(p.size/LineSize))) * LineSize
+	}
+	p.evictMu.Unlock()
+	if !hit {
+		return
+	}
+	p.guard.RLock()
+	m := p.lockSpan(line, LineSize)
 	for w := 0; w < LineSize/WordSize; w++ {
 		if p.meta[(line+Addr(w*WordSize))/WordSize].Dirty {
 			copy(p.persisted[line:line+LineSize], p.cache[line:line+LineSize])
-			return
+			p.markTouched(line, LineSize)
+			break
 		}
 	}
+	p.unlockSpan(m)
+	p.guard.RUnlock()
 }
 
 // WordState returns the persistency state of the word containing addr.
 func (p *Pool) WordState(addr Addr) WordMeta {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, 1)
-	return p.meta[addr/WordSize]
+	p.guard.RLock()
+	m := p.lockSpan(addr, 1)
+	st := p.meta[addr/WordSize]
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return st
 }
 
 // WordDirtyRange reports whether any word covering [addr, addr+n) is dirty
 // and, if so, returns that word's state and word-aligned address.
 func (p *Pool) WordDirtyRange(addr Addr, n uint64) (WordMeta, Addr, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, n)
+	p.guard.RLock()
+	m := p.lockSpan(addr, n)
+	defer func() {
+		p.unlockSpan(m)
+		p.guard.RUnlock()
+	}()
 	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
 		if p.meta[wi].Dirty {
 			return p.meta[wi], wi * WordSize, true
@@ -392,28 +552,34 @@ func (p *Pool) WordDirtyRange(addr Addr, n uint64) (WordMeta, Addr, bool) {
 
 // ShadowLabel returns the taint label stored for the word containing addr.
 func (p *Pool) ShadowLabel(addr Addr) uint32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, 1)
-	return p.shadow[addr/WordSize]
+	p.guard.RLock()
+	m := p.lockSpan(addr, 1)
+	l := p.shadow[addr/WordSize]
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return l
 }
 
 // SetShadowLabel stores a taint label for every word covering [addr, addr+n).
 func (p *Pool) SetShadowLabel(addr Addr, n uint64, label uint32) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, n)
+	p.guard.RLock()
+	m := p.lockSpan(addr, n)
 	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
 		p.shadow[wi] = label
 	}
+	p.markTouched(addr, n)
+	p.unlockSpan(m)
+	p.guard.RUnlock()
 }
 
 // ShadowLabelRange returns the shadow labels of all words covering the range,
 // deduplicated, excluding zero.
 func (p *Pool) ShadowLabelRange(addr Addr, n uint64) []uint32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, n)
+	p.guard.RLock()
+	m := p.lockSpan(addr, n)
 	var out []uint32
 	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
 		l := p.shadow[wi]
@@ -431,6 +597,8 @@ func (p *Pool) ShadowLabelRange(addr Addr, n uint64) []uint32 {
 			out = append(out, l)
 		}
 	}
+	p.unlockSpan(m)
+	p.guard.RUnlock()
 	return out
 }
 
@@ -438,60 +606,258 @@ func (p *Pool) ShadowLabelRange(addr Addr, n uint64) []uint32 {
 // containing addr and returns the previous record. The runtime uses it to
 // form PM alias pairs.
 func (p *Pool) SwapAccessor(addr Addr, a Accessor) Accessor {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, 1)
+	p.guard.RLock()
+	m := p.lockSpan(addr, 1)
 	wi := addr / WordSize
 	prev := p.last[wi]
 	p.last[wi] = a
+	// Accessor records are cleared by Restore, so the line counts as
+	// diverged from the checkpoint even without a data write.
+	p.markTouched(addr, 1)
+	p.unlockSpan(m)
+	p.guard.RUnlock()
 	return prev
+}
+
+// --- fused instrumented accessors ---
+//
+// One instrumented PM access needs several pieces of pool state: the value,
+// the word's persistency metadata, its shadow taint label, the last-accessor
+// swap for alias-pair coverage, and (for stores) the dirty marking and label
+// update. Composing those from the fine-grained primitives above costs one
+// guard+stripe round trip per piece; the Instr* variants perform the whole
+// per-access protocol in a single striped critical section, keeping
+// single-thread hook cost close to a single-lock design. The fine-grained
+// primitives remain for tests, validators and recovery code.
+
+// InstrLoad64 performs the instrumented-load protocol on the word containing
+// addr: read the 8-byte value, the word's metadata and shadow label, and
+// record thread t at the given site as the word's last accessor (tagged with
+// the observed persistency state). The previous accessor is returned for
+// alias-pair coverage.
+func (p *Pool) InstrLoad64(t ThreadID, site uint32, addr Addr) (val uint64, meta WordMeta, shadow uint32, prev Accessor) {
+	p.check(addr, 8)
+	p.guard.RLock()
+	m := p.lockSpan(addr, 8)
+	wi := addr / WordSize
+	val = le64(p.cache[addr:])
+	meta = p.meta[wi]
+	shadow = p.shadow[wi]
+	prev = p.last[wi]
+	p.last[wi] = Accessor{Site: site, Thread: t, Dirty: meta.Dirty, Valid: true}
+	p.markTouched(addr, 1)
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return
+}
+
+// InstrLoadBytes is the byte-range load protocol: copy the range, find the
+// first dirty word (if any), collect the deduplicated non-zero shadow labels
+// and swap the first word's accessor, all atomically.
+func (p *Pool) InstrLoadBytes(t ThreadID, site uint32, addr Addr, n uint64) (out []byte, meta WordMeta, waddr Addr, dirty bool, labels []uint32, prev Accessor) {
+	p.check(addr, n)
+	out = make([]byte, n)
+	p.guard.RLock()
+	m := p.lockSpan(addr, n)
+	copy(out, p.cache[addr:addr+n])
+	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
+		if !dirty && p.meta[wi].Dirty {
+			meta, waddr, dirty = p.meta[wi], wi*WordSize, true
+		}
+		l := p.shadow[wi]
+		if l == 0 {
+			continue
+		}
+		dup := false
+		for _, e := range labels {
+			if e == l {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			labels = append(labels, l)
+		}
+	}
+	wi := addr / WordSize
+	prev = p.last[wi]
+	p.last[wi] = Accessor{Site: site, Thread: t, Dirty: dirty, Valid: true}
+	p.markTouched(addr, 1)
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return
+}
+
+// InstrStore64 performs the instrumented-store protocol: read the previous
+// value, write the new one, mark the covered words dirty, replace their
+// shadow label and record the access as last accessor, in one critical
+// section. It returns the overwritten value and the previous accessor.
+func (p *Pool) InstrStore64(t ThreadID, site uint32, addr Addr, val uint64, label uint32) (old uint64, prev Accessor) {
+	p.check(addr, 8)
+	p.guard.RLock()
+	m := p.lockSpan(addr, 8)
+	old = le64(p.cache[addr:])
+	putLE64(p.cache[addr:], val)
+	p.markStored(t, site, addr, 8)
+	for wi := addr / WordSize; wi <= (addr+7)/WordSize; wi++ {
+		p.shadow[wi] = label
+	}
+	wi := addr / WordSize
+	prev = p.last[wi]
+	p.last[wi] = Accessor{Site: site, Thread: t, Dirty: true, Valid: true}
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	p.maybeEvict()
+	return
+}
+
+// InstrStoreBytes is the byte-range store protocol.
+func (p *Pool) InstrStoreBytes(t ThreadID, site uint32, addr Addr, data []byte, label uint32) (prev Accessor) {
+	n := uint64(len(data))
+	p.check(addr, n)
+	p.guard.RLock()
+	m := p.lockSpan(addr, n)
+	copy(p.cache[addr:], data)
+	p.markStored(t, site, addr, n)
+	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
+		p.shadow[wi] = label
+	}
+	wi := addr / WordSize
+	prev = p.last[wi]
+	p.last[wi] = Accessor{Site: site, Thread: t, Dirty: true, Valid: true}
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	p.maybeEvict()
+	return
+}
+
+// InstrNTStore64 is the non-temporal store protocol: the write reaches the
+// persisted image immediately and the words end clean.
+func (p *Pool) InstrNTStore64(t ThreadID, site uint32, addr Addr, val uint64, label uint32) (old uint64, prev Accessor) {
+	p.check(addr, 8)
+	p.guard.RLock()
+	m := p.lockSpan(addr, 8)
+	old = le64(p.cache[addr:])
+	putLE64(p.cache[addr:], val)
+	putLE64(p.persisted[addr:], val)
+	p.markNT(t, site, addr, 8)
+	for wi := addr / WordSize; wi <= (addr+7)/WordSize; wi++ {
+		p.shadow[wi] = label
+	}
+	wi := addr / WordSize
+	prev = p.last[wi]
+	p.last[wi] = Accessor{Site: site, Thread: t, Dirty: false, Valid: true}
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return
+}
+
+// InstrNTStoreBytes is the byte-range non-temporal store protocol.
+func (p *Pool) InstrNTStoreBytes(t ThreadID, site uint32, addr Addr, data []byte, label uint32) (prev Accessor) {
+	n := uint64(len(data))
+	p.check(addr, n)
+	p.guard.RLock()
+	m := p.lockSpan(addr, n)
+	copy(p.cache[addr:], data)
+	copy(p.persisted[addr:], data)
+	p.markNT(t, site, addr, n)
+	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
+		p.shadow[wi] = label
+	}
+	wi := addr / WordSize
+	prev = p.last[wi]
+	p.last[wi] = Accessor{Site: site, Thread: t, Dirty: false, Valid: true}
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return
+}
+
+// InstrCAS64 is the compare-and-swap protocol: the pre-CAS metadata, shadow
+// label and accessor swap plus the CAS itself in one critical section. On
+// success the covered words' shadow label is replaced; a failed CAS has load
+// semantics and leaves data, metadata and labels untouched.
+func (p *Pool) InstrCAS64(t ThreadID, site uint32, addr Addr, old, new uint64, label uint32) (ok bool, observed uint64, meta WordMeta, shadow uint32, prev Accessor) {
+	p.check(addr, 8)
+	p.guard.RLock()
+	m := p.lockSpan(addr, 8)
+	wi := addr / WordSize
+	meta = p.meta[wi]
+	shadow = p.shadow[wi]
+	prev = p.last[wi]
+	p.last[wi] = Accessor{Site: site, Thread: t, Dirty: true, Valid: true}
+	observed = le64(p.cache[addr:])
+	ok = observed == old
+	if ok {
+		putLE64(p.cache[addr:], new)
+		p.markStored(t, site, addr, 8)
+		for w := addr / WordSize; w <= (addr+7)/WordSize; w++ {
+			p.shadow[w] = label
+		}
+	} else {
+		// Only the accessor record diverged from the checkpoint.
+		p.markTouched(addr, 1)
+	}
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return
 }
 
 // EpochAt returns the store epoch of the word containing addr.
 func (p *Pool) EpochAt(addr Addr) uint32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, 1)
-	return p.meta[addr/WordSize].Epoch
+	p.guard.RLock()
+	m := p.lockSpan(addr, 1)
+	e := p.meta[addr/WordSize].Epoch
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return e
 }
 
 // Stats returns operation counters: stores, flushes and fences performed.
 func (p *Pool) Stats() (stores, flushes, fences uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stores, p.flushes, p.fences
+	return p.stores.Load(), p.flushes.Load(), p.fences.Load()
 }
 
 // PersistedEquals reports whether the persisted image of [addr, addr+n)
 // equals the cache image, i.e. whether the range is fully durable.
 func (p *Pool) PersistedEquals(addr Addr, n uint64) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, n)
+	p.guard.RLock()
+	m := p.lockSpan(addr, n)
+	eq := true
 	for i := addr; i < addr+n; i++ {
 		if p.cache[i] != p.persisted[i] {
-			return false
+			eq = false
+			break
 		}
 	}
-	return true
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return eq
 }
 
 // PersistedLoad64 reads a word from the persisted image (what a crash would
 // preserve), bypassing the cache. Tests and validators use it.
 func (p *Pool) PersistedLoad64(addr Addr) uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, 8)
-	return le64(p.persisted[addr:])
+	p.guard.RLock()
+	m := p.lockSpan(addr, 8)
+	v := le64(p.persisted[addr:])
+	p.unlockSpan(m)
+	p.guard.RUnlock()
+	return v
 }
 
 // PersistedBytes copies n bytes starting at addr from the persisted image.
 func (p *Pool) PersistedBytes(addr Addr, n uint64) []byte {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.check(addr, n)
 	out := make([]byte, n)
+	p.guard.RLock()
+	m := p.lockSpan(addr, n)
 	copy(out, p.persisted[addr:addr+n])
+	p.unlockSpan(m)
+	p.guard.RUnlock()
 	return out
 }
 

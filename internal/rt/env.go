@@ -17,6 +17,7 @@ package rt
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pmrace-go/pmrace/internal/core"
@@ -77,8 +78,10 @@ type Env struct {
 
 	trace *traceRing
 
+	// recordOn is read on every store hook; it is atomic so the common
+	// recorder-off case costs one load instead of a mutex round trip.
+	recordOn atomic.Bool
 	recMu    sync.Mutex
-	recordOn bool
 	written  map[pmem.Addr]struct{} // word-aligned offsets overwritten
 
 	threadsMu sync.Mutex
@@ -138,7 +141,7 @@ func (e *Env) Spawn() *Thread {
 	e.nextTID++
 	e.threadsMu.Unlock()
 	e.strat.ThreadStart(id)
-	return &Thread{ID: id, env: e}
+	return &Thread{ID: id, env: e, sites: site.NewCache()}
 }
 
 // AnnotateSyncVar registers a persistent synchronization variable annotation
@@ -178,8 +181,8 @@ func (e *Env) recordStat(t pmem.ThreadID, addr pmem.Addr, s site.ID, isStore boo
 func (e *Env) EnableWriteRecorder() {
 	e.recMu.Lock()
 	defer e.recMu.Unlock()
-	e.recordOn = true
 	e.written = make(map[pmem.Addr]struct{})
+	e.recordOn.Store(true)
 }
 
 // WrittenWords returns the recorded word-aligned offsets.
@@ -196,11 +199,11 @@ func (e *Env) WrittenWords() map[pmem.Addr]struct{} {
 // RangeOverwritten reports whether every word of the range was overwritten
 // since EnableWriteRecorder.
 func (e *Env) RangeOverwritten(r pmem.Range) bool {
-	e.recMu.Lock()
-	defer e.recMu.Unlock()
-	if !e.recordOn {
+	if !e.recordOn.Load() {
 		return false
 	}
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
 	if r.Len == 0 {
 		return true
 	}
@@ -213,11 +216,11 @@ func (e *Env) RangeOverwritten(r pmem.Range) bool {
 }
 
 func (e *Env) recordWrite(addr pmem.Addr, n uint64) {
-	e.recMu.Lock()
-	defer e.recMu.Unlock()
-	if !e.recordOn || n == 0 {
+	if !e.recordOn.Load() || n == 0 {
 		return
 	}
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
 	for w := addr / pmem.WordSize; w <= (addr+n-1)/pmem.WordSize; w++ {
 		e.written[w*pmem.WordSize] = struct{}{}
 	}

@@ -23,6 +23,10 @@ type Thread struct {
 	ID  pmem.ThreadID
 	env *Env
 
+	// sites caches PC→site-ID resolutions so steady-state hook calls
+	// never touch the shared registry. Single-goroutine, like the Thread.
+	sites *site.Cache
+
 	branchPrev uint32
 }
 
@@ -51,7 +55,7 @@ func (h HangError) Error() string {
 // candidate created by this read (paper §4.3, "PM Inter-thread Inconsistency
 // Candidate" checker).
 func (t *Thread) Load64(addr pmem.Addr) (uint64, taint.Label) {
-	s := site.Here(0)
+	s := t.sites.Here(0)
 	return t.load64At(addr, s)
 }
 
@@ -60,9 +64,9 @@ func (t *Thread) load64At(addr pmem.Addr, s site.ID) (uint64, taint.Label) {
 	e.strat.BeforeLoad(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, false)
 	e.traceAccess(t.ID, AccLoad, addr, s)
-	meta := e.pool.WordState(addr)
-	t.aliasPair(addr, s, meta.Dirty)
-	lab := taint.Label(e.pool.ShadowLabel(addr))
+	val, meta, shadow, prev := e.pool.InstrLoad64(t.ID, uint32(s), addr)
+	t.aliasCover(prev, s, meta.Dirty)
+	lab := taint.Label(shadow)
 	if meta.Dirty && meta.Writer != pmem.NoThread {
 		ev := taint.Event{
 			Addr:      addr &^ (pmem.WordSize - 1),
@@ -74,20 +78,20 @@ func (t *Thread) load64At(addr pmem.Addr, s site.ID) (uint64, taint.Label) {
 		}
 		lab = e.labels.Union(lab, e.det.OnDirtyRead(ev))
 	}
-	return e.pool.Load64(addr), lab
+	return val, lab
 }
 
 // LoadBytes performs an instrumented PM load of n bytes. Dirty words in the
 // range produce inconsistency candidates exactly like Load64.
 func (t *Thread) LoadBytes(addr pmem.Addr, n uint64) ([]byte, taint.Label) {
-	s := site.Here(0)
+	s := t.sites.Here(0)
 	e := t.env
 	e.strat.BeforeLoad(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, false)
 	e.traceAccess(t.ID, AccLoad, addr, s)
-	meta, waddr, dirty := e.pool.WordDirtyRange(addr, n)
-	t.aliasPair(addr, s, dirty)
-	lab := e.labels.UnionAll(labelsOf(e.pool.ShadowLabelRange(addr, n)))
+	out, meta, waddr, dirty, rawLabels, prev := e.pool.InstrLoadBytes(t.ID, uint32(s), addr, n)
+	t.aliasCover(prev, s, dirty)
+	lab := e.labels.UnionAll(labelsOf(rawLabels))
 	if dirty && meta.Writer != pmem.NoThread {
 		ev := taint.Event{
 			Addr:      waddr,
@@ -99,7 +103,7 @@ func (t *Thread) LoadBytes(addr pmem.Addr, n uint64) ([]byte, taint.Label) {
 		}
 		lab = e.labels.Union(lab, e.det.OnDirtyRead(ev))
 	}
-	return e.pool.LoadBytes(addr, n), lab
+	return out, lab
 }
 
 // --- stores ---
@@ -111,7 +115,7 @@ func (t *Thread) LoadBytes(addr pmem.Addr, n uint64) ([]byte, taint.Label) {
 // non-persisted makes this store a durable side effect: a PM inter- or
 // intra-thread inconsistency (paper Definition 2).
 func (t *Thread) Store64(addr pmem.Addr, val uint64, valLab, addrLab taint.Label) {
-	s := site.Here(0)
+	s := t.sites.Here(0)
 	t.store64At(addr, val, valLab, addrLab, s)
 }
 
@@ -120,14 +124,12 @@ func (t *Thread) store64At(addr pmem.Addr, val uint64, valLab, addrLab taint.Lab
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
 	e.traceAccess(t.ID, AccStore, addr, s)
-	t.aliasPair(addr, s, true)
 	t.checkSideEffect(s, addr, 8, valLab, addrLab)
-	old := e.pool.Load64(addr)
+	old, prev := e.pool.InstrStore64(t.ID, uint32(s), addr, val, uint32(valLab))
+	t.aliasCover(prev, s, true)
 	if old == val && old != 0 {
 		e.det.OnRedundantStore(s, addr)
 	}
-	e.pool.Store64(t.ID, uint32(s), addr, val)
-	e.pool.SetShadowLabel(addr, 8, uint32(valLab))
 	e.recordWrite(addr, 8)
 	t.checkSyncVar(s, addr, 8, old, val)
 	e.strat.AfterStore(t.ID, addr, s)
@@ -135,16 +137,15 @@ func (t *Thread) store64At(addr pmem.Addr, val uint64, valLab, addrLab taint.Lab
 
 // StoreBytes performs an instrumented PM store of a byte slice.
 func (t *Thread) StoreBytes(addr pmem.Addr, data []byte, valLab, addrLab taint.Label) {
-	s := site.Here(0)
+	s := t.sites.Here(0)
 	e := t.env
 	n := uint64(len(data))
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
 	e.traceAccess(t.ID, AccStore, addr, s)
-	t.aliasPair(addr, s, true)
 	t.checkSideEffect(s, addr, n, valLab, addrLab)
-	e.pool.StoreBytes(t.ID, uint32(s), addr, data)
-	e.pool.SetShadowLabel(addr, n, uint32(valLab))
+	prev := e.pool.InstrStoreBytes(t.ID, uint32(s), addr, data, uint32(valLab))
+	t.aliasCover(prev, s, true)
 	e.recordWrite(addr, n)
 	e.strat.AfterStore(t.ID, addr, s)
 }
@@ -153,32 +154,29 @@ func (t *Thread) StoreBytes(addr pmem.Addr, data []byte, valLab, addrLab taint.L
 // durable immediately (PM_CLEAN), so it is itself a durable side effect if
 // its value or address is tainted — the movnt64 pattern of the P-CLHT bug.
 func (t *Thread) NTStore64(addr pmem.Addr, val uint64, valLab, addrLab taint.Label) {
-	s := site.Here(0)
+	s := t.sites.Here(0)
 	e := t.env
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
 	e.traceAccess(t.ID, AccNTStore, addr, s)
-	t.aliasPair(addr, s, false)
 	t.checkSideEffect(s, addr, 8, valLab, addrLab)
-	old := e.pool.Load64(addr)
-	e.pool.NTStore64(t.ID, uint32(s), addr, val)
-	e.pool.SetShadowLabel(addr, 8, uint32(valLab))
+	old, prev := e.pool.InstrNTStore64(t.ID, uint32(s), addr, val, uint32(valLab))
+	t.aliasCover(prev, s, false)
 	e.recordWrite(addr, 8)
 	t.checkSyncVar(s, addr, 8, old, val)
 }
 
 // NTStoreBytes performs an instrumented non-temporal store of a byte slice.
 func (t *Thread) NTStoreBytes(addr pmem.Addr, data []byte, valLab, addrLab taint.Label) {
-	s := site.Here(0)
+	s := t.sites.Here(0)
 	e := t.env
 	n := uint64(len(data))
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
 	e.traceAccess(t.ID, AccNTStore, addr, s)
-	t.aliasPair(addr, s, false)
 	t.checkSideEffect(s, addr, n, valLab, addrLab)
-	e.pool.NTStoreBytes(t.ID, uint32(s), addr, data)
-	e.pool.SetShadowLabel(addr, n, uint32(valLab))
+	prev := e.pool.InstrNTStoreBytes(t.ID, uint32(s), addr, data, uint32(valLab))
+	t.aliasCover(prev, s, false)
 	e.recordWrite(addr, n)
 }
 
@@ -186,7 +184,7 @@ func (t *Thread) NTStoreBytes(addr pmem.Addr, data []byte, valLab, addrLab taint
 // semantics (side-effect and sync-variable checks apply); on failure it has
 // load semantics. The returned label covers the observed value.
 func (t *Thread) CAS64(addr pmem.Addr, old, new uint64, valLab, addrLab taint.Label) (bool, uint64, taint.Label) {
-	s := site.Here(0)
+	s := t.sites.Here(0)
 	return t.cas64At(addr, old, new, valLab, addrLab, s)
 }
 
@@ -195,9 +193,9 @@ func (t *Thread) cas64At(addr pmem.Addr, old, new uint64, valLab, addrLab taint.
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
 	e.traceAccess(t.ID, AccCAS, addr, s)
-	meta := e.pool.WordState(addr)
-	t.aliasPair(addr, s, true)
-	lab := taint.Label(e.pool.ShadowLabel(addr))
+	ok, observed, meta, shadow, prev := e.pool.InstrCAS64(t.ID, uint32(s), addr, old, new, uint32(valLab))
+	t.aliasCover(prev, s, true)
+	lab := taint.Label(shadow)
 	if meta.Dirty && meta.Writer != pmem.NoThread {
 		ev := taint.Event{
 			Addr:      addr &^ (pmem.WordSize - 1),
@@ -209,10 +207,8 @@ func (t *Thread) cas64At(addr pmem.Addr, old, new uint64, valLab, addrLab taint.
 		}
 		lab = e.labels.Union(lab, e.det.OnDirtyRead(ev))
 	}
-	ok, observed := e.pool.CAS64(t.ID, uint32(s), addr, old, new)
 	if ok {
 		t.checkSideEffect(s, addr, 8, valLab, addrLab)
-		e.pool.SetShadowLabel(addr, 8, uint32(valLab))
 		e.recordWrite(addr, 8)
 		t.checkSyncVar(s, addr, 8, observed, new)
 		e.strat.AfterStore(t.ID, addr, s)
@@ -229,7 +225,7 @@ func (t *Thread) ExternSideEffect(lab taint.Label) {
 	if lab == taint.None {
 		return
 	}
-	s := site.Here(0)
+	s := t.sites.Here(0)
 	e := t.env
 	found := e.det.OnStore(core.StoreCheck{
 		Thread:   t.ID,
@@ -257,7 +253,7 @@ func (t *Thread) ExternSideEffect(lab taint.Label) {
 // unnecessary-persistency checker records flushes whose covered words were
 // all already clean (§4.3's extensible-checker example).
 func (t *Thread) Flush(addr pmem.Addr, n uint64) {
-	t.flushAt(site.Here(0), addr, n)
+	t.flushAt(t.sites.Here(0), addr, n)
 }
 
 func (t *Thread) flushAt(s site.ID, addr pmem.Addr, n uint64) {
@@ -273,7 +269,7 @@ func (t *Thread) Fence() { t.env.pool.Fence(t.ID) }
 
 // Persist is the common flush+fence sequence.
 func (t *Thread) Persist(addr pmem.Addr, n uint64) {
-	t.flushAt(site.Here(0), addr, n)
+	t.flushAt(t.sites.Here(0), addr, n)
 	t.env.pool.Fence(t.ID)
 }
 
@@ -282,7 +278,7 @@ func (t *Thread) Persist(addr pmem.Addr, n uint64) {
 // Branch records an edge-coverage event at the caller's location,
 // corresponding to the branch instrumentation of the LLVM pass.
 func (t *Thread) Branch() {
-	s := site.Here(0)
+	s := t.sites.Here(0)
 	t.env.cov.Branch.Set(cover.EdgeHash(t.branchPrev, uint32(s)))
 	t.branchPrev = uint32(s)
 }
@@ -295,7 +291,7 @@ func (t *Thread) Branch() {
 // how never-released persistent locks (PM Synchronization Inconsistency
 // consequences) and conventional missing-unlock bugs manifest.
 func (t *Thread) SpinLock(addr pmem.Addr) {
-	s := site.Here(0)
+	s := t.sites.Here(0)
 	deadline := time.Now().Add(t.env.cfg.HangTimeout)
 	for {
 		ok, _, _ := t.cas64At(addr, 0, 1, taint.None, taint.None, s)
@@ -320,16 +316,15 @@ func (t *Thread) SpinLock(addr pmem.Addr) {
 
 // SpinUnlock releases a SpinLock-acquired lock.
 func (t *Thread) SpinUnlock(addr pmem.Addr) {
-	s := site.Here(0)
+	s := t.sites.Here(0)
 	t.store64At(addr, 0, taint.None, taint.None, s)
 }
 
 // --- internal helpers ---
 
-func (t *Thread) aliasPair(addr pmem.Addr, s site.ID, dirty bool) {
-	prev := t.env.pool.SwapAccessor(addr, pmem.Accessor{
-		Site: uint32(s), Thread: t.ID, Dirty: dirty, Valid: true,
-	})
+// aliasCover records a PM alias pair when the previous accessor of the word
+// (returned by the fused pool operation that swapped it) was another thread.
+func (t *Thread) aliasCover(prev pmem.Accessor, s site.ID, dirty bool) {
 	if prev.Valid && prev.Thread != t.ID {
 		t.env.cov.Alias.Set(cover.AliasHash(prev.Site, prev.Dirty, uint32(s), dirty))
 	}

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ID identifies one instrumented instruction (hook call site).
@@ -40,20 +41,28 @@ func (i Info) String() string {
 // usable; create registries with NewRegistry. A process-wide registry is
 // exposed through the package-level functions so that site IDs remain stable
 // across fuzz campaigns within one run.
+//
+// The steady-state read path is lock-free: lookups load an atomic pointer to
+// an immutable PC→ID map (and an immutable Info slice), so hook calls from
+// concurrent fuzzing workers never serialize on the registry once their call
+// sites are known. Registration of a new site copies the map under mu and
+// publishes the copy (copy-on-write); sites are registered once per call site
+// per process, so the write path is cold.
 type Registry struct {
-	mu    sync.Mutex
-	byPC  map[uintptr]ID
-	byKey map[string]ID
-	infos []Info // index = ID; 0 reserved for Unknown
+	mu    sync.Mutex                     // serializes writers (copy-on-write)
+	byPC  atomic.Pointer[map[uintptr]ID] // immutable published map
+	byKey map[string]ID                  // slow path only, guarded by mu
+	infos atomic.Pointer[[]Info]         // immutable published slice; index = ID
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		byPC:  make(map[uintptr]ID),
-		byKey: make(map[string]ID),
-		infos: make([]Info, 1),
-	}
+	r := &Registry{byKey: make(map[string]ID)}
+	pcs := make(map[uintptr]ID)
+	infos := make([]Info, 1) // 0 reserved for Unknown
+	r.byPC.Store(&pcs)
+	r.infos.Store(&infos)
+	return r
 }
 
 var global = NewRegistry()
@@ -77,15 +86,23 @@ func (r *Registry) Here(skip int) ID {
 	if runtime.Callers(skip+2, pcs[:]) == 0 {
 		return Unknown
 	}
-	pc := pcs[0]
-	r.mu.Lock()
-	if id, ok := r.byPC[pc]; ok {
-		r.mu.Unlock()
+	return r.ResolvePC(pcs[0])
+}
+
+// ResolvePC returns the stable ID for a program counter captured with
+// runtime.Callers, registering it on first sight. The hit path is lock-free.
+func (r *Registry) ResolvePC(pc uintptr) ID {
+	if id, ok := (*r.byPC.Load())[pc]; ok {
 		return id
 	}
-	r.mu.Unlock()
+	return r.registerPC(pc)
+}
+
+// registerPC is the cold path of ResolvePC: symbolize the PC and publish a
+// new immutable map that includes it.
+func (r *Registry) registerPC(pc uintptr) ID {
 	// Resolve outside the lock: CallersFrames may be slow.
-	frames := runtime.CallersFrames(pcs[:])
+	frames := runtime.CallersFrames([]uintptr{pc})
 	frame, _ := frames.Next()
 	info := Info{
 		File:     filepath.Base(frame.File),
@@ -94,21 +111,42 @@ func (r *Registry) Here(skip int) ID {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if id, ok := r.byPC[pc]; ok {
+	if id, ok := (*r.byPC.Load())[pc]; ok {
 		return id
 	}
 	// Two distinct PCs can resolve to the same file:line (inlining);
 	// reuse the existing ID so coverage and dedup stay stable.
 	key := fmt.Sprintf("%s:%d", frame.File, frame.Line)
-	if id, ok := r.byKey[key]; ok {
-		r.byPC[pc] = id
-		return id
+	id, known := r.byKey[key]
+	if !known {
+		id = r.appendInfoLocked(info)
+		r.byKey[key] = id
 	}
-	id := ID(len(r.infos))
-	r.infos = append(r.infos, info)
-	r.byPC[pc] = id
-	r.byKey[key] = id
+	r.publishPCLocked(pc, id)
 	return id
+}
+
+// publishPCLocked copies the current PC map, adds pc→id and publishes the
+// copy. Callers hold mu.
+func (r *Registry) publishPCLocked(pc uintptr, id ID) {
+	old := *r.byPC.Load()
+	next := make(map[uintptr]ID, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[pc] = id
+	r.byPC.Store(&next)
+}
+
+// appendInfoLocked publishes a new immutable Info slice with info appended
+// and returns its ID. Callers hold mu.
+func (r *Registry) appendInfoLocked(info Info) ID {
+	old := *r.infos.Load()
+	next := make([]Info, len(old)+1)
+	copy(next, old)
+	next[len(old)] = info
+	r.infos.Store(&next)
+	return ID(len(old))
 }
 
 // Named returns a stable ID for a symbolic name.
@@ -118,28 +156,67 @@ func (r *Registry) Named(name string) ID {
 	if id, ok := r.byKey[name]; ok {
 		return id
 	}
-	id := ID(len(r.infos))
-	r.infos = append(r.infos, Info{File: name, Line: 0, Function: name})
+	id := r.appendInfoLocked(Info{File: name, Line: 0, Function: name})
 	r.byKey[name] = id
 	return id
 }
 
 // Lookup returns the Info recorded for id, or a zero Info for Unknown or
-// out-of-range IDs.
+// out-of-range IDs. Lookup is lock-free.
 func (r *Registry) Lookup(id ID) Info {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if id == Unknown || int(id) >= len(r.infos) {
+	infos := *r.infos.Load()
+	if id == Unknown || int(id) >= len(infos) {
 		return Info{}
 	}
-	return r.infos[id]
+	return infos[id]
 }
 
 // Count returns the number of registered sites.
 func (r *Registry) Count() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.infos) - 1
+	return len(*r.infos.Load()) - 1
+}
+
+// cacheSize is the number of direct-mapped entries in a Cache. Instrumented
+// targets have at most a few hundred distinct hook call sites; 256 entries
+// keep the steady-state miss rate near zero.
+const cacheSize = 256
+
+// Cache is a small direct-mapped PC→ID cache in front of a Registry. Each
+// simulated thread owns one, so steady-state hook calls resolve their site ID
+// without touching the shared registry at all — not even its lock-free map
+// load. A Cache is not safe for concurrent use; it is as thread-local as the
+// rt.Thread that embeds it.
+type Cache struct {
+	reg *Registry
+	pcs [cacheSize]uintptr
+	ids [cacheSize]ID
+}
+
+// NewCache creates a PC cache over the global registry.
+func NewCache() *Cache { return &Cache{reg: global} }
+
+// NewCacheFor creates a PC cache over an explicit registry.
+func NewCacheFor(r *Registry) *Cache { return &Cache{reg: r} }
+
+// Here resolves the caller at the given skip depth to a stable ID, consulting
+// the cache first. skip follows the same convention as the package-level
+// Here: skip 0 identifies the direct caller of the function calling Here.
+func (c *Cache) Here(skip int) ID {
+	var pcs [1]uintptr
+	if runtime.Callers(skip+3, pcs[:]) == 0 {
+		return Unknown
+	}
+	pc := pcs[0]
+	// Return PCs are instruction-aligned; drop the low bits so adjacent
+	// call sites spread over distinct slots.
+	slot := (pc >> 3) % cacheSize
+	if c.pcs[slot] == pc {
+		return c.ids[slot]
+	}
+	id := c.reg.ResolvePC(pc)
+	c.pcs[slot] = pc
+	c.ids[slot] = id
+	return id
 }
 
 func shortFunc(fn string) string {

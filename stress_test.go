@@ -1,0 +1,143 @@
+// Race stress tests for the lock-free and striped hot-path structures: the
+// coverage bitmap, the site registry (shared and per-thread-cached paths)
+// and the striped pmem pool, each hammered from 8 goroutines. Run under the
+// race detector (`go test -race -run HotPathRace`); CI does.
+package pmrace_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/pmrace-go/pmrace/internal/cover"
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/site"
+)
+
+const stressGoroutines = 8
+
+// TestHotPathRaceBitmap hammers Bitmap.Set and Merge concurrently with
+// overlapping hash ranges so every word sees CAS contention.
+func TestHotPathRaceBitmap(t *testing.T) {
+	global := cover.NewBitmap()
+	var wg sync.WaitGroup
+	for g := 0; g < stressGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			local := cover.NewBitmap()
+			for i := 0; i < 20000; i++ {
+				// Overlapping ranges: every goroutine revisits hashes
+				// its neighbours set.
+				h := cover.EdgeHash(uint32(i%4096), uint32(g%3))
+				local.Set(h)
+				global.Set(h)
+				if i%512 == 0 {
+					global.Merge(local)
+					global.Count()
+				}
+			}
+			global.Merge(local)
+		}(g)
+	}
+	wg.Wait()
+	if global.Count() == 0 {
+		t.Fatal("no coverage recorded")
+	}
+}
+
+// TestHotPathRaceSites hammers the registry's copy-on-write publication from
+// concurrent Here calls plus per-goroutine caches, checking all goroutines
+// resolve one call site to one ID.
+func TestHotPathRaceSites(t *testing.T) {
+	ids := make([]site.ID, stressGoroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < stressGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := site.NewCache()
+			var last site.ID
+			for i := 0; i < 20000; i++ {
+				last = c.Here(0)
+				if i%64 == 0 {
+					site.Here(0) // uncached registry path
+					site.Lookup(last)
+				}
+			}
+			ids[g] = last
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < stressGoroutines; g++ {
+		if ids[g] != ids[0] {
+			t.Fatalf("goroutine %d resolved site %v, goroutine 0 resolved %v", g, ids[g], ids[0])
+		}
+	}
+}
+
+// TestHotPathRacePool hammers the striped pool: overlapping loads, stores,
+// flush/fence cycles, CAS and accessor swaps from 8 simulated threads while
+// another goroutine interleaves the whole-pool operations (Snapshot,
+// CrashImage, Restore) that take the writer-preference guard exclusively.
+func TestHotPathRacePool(t *testing.T) {
+	const poolSize = 1 << 16
+	p := pmem.New(poolSize)
+	snap := p.Snapshot()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < stressGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tid := pmem.ThreadID(g)
+			st := uint32(g + 1)
+			for i := 0; i < 8000; i++ {
+				// Rotate through lines so stripes contend and spans
+				// sometimes straddle two lines.
+				addr := pmem.Addr((i*56 + g*8) % (poolSize - 64))
+				switch i % 7 {
+				case 0:
+					p.Store64(tid, st, addr, uint64(i))
+				case 1:
+					p.Load64(addr)
+					p.WordState(addr)
+				case 2:
+					p.Flush(tid, addr, 16)
+					p.Fence(tid)
+				case 3:
+					p.CAS64(tid, st, addr, 0, uint64(g))
+				case 4:
+					p.SwapAccessor(addr, pmem.Accessor{Site: st, Thread: tid, Valid: true})
+					p.ShadowLabel(addr)
+				case 5:
+					p.InstrStore64(tid, st, addr, uint64(i), uint32(g))
+				case 6:
+					p.InstrLoad64(tid, st, addr)
+				}
+			}
+		}(g)
+	}
+	// Whole-pool operations racing the striped fast paths.
+	var imgWG sync.WaitGroup
+	imgWG.Add(1)
+	go func() {
+		defer imgWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			img := p.CrashImage()
+			pmem.RecycleImage(img)
+			p.Snapshot()
+		}
+	}()
+	wg.Wait()
+	close(done)
+	imgWG.Wait()
+	p.Restore(snap)
+	if got := p.Load64(0); got != 0 {
+		t.Fatalf("restored pool word 0 = %d, want 0", got)
+	}
+}
