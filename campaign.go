@@ -1,0 +1,133 @@
+package pmrace
+
+import (
+	"context"
+	"io"
+
+	"github.com/pmrace-go/pmrace/internal/fuzz"
+	"github.com/pmrace-go/pmrace/internal/obs"
+)
+
+// Observability surface, re-exported from internal/obs.
+type (
+	// Event is one typed campaign event (see the Kind* constants for the
+	// taxonomy).
+	Event = obs.Event
+	// Stats is a point-in-time campaign statistics snapshot; the terminal
+	// CampaignDone event carries the final one.
+	Stats = obs.Stats
+	// Sink consumes events synchronously and losslessly (JSONL trace
+	// writer, progress renderer, in-memory collector).
+	Sink = obs.Sink
+
+	// The concrete event payload types.
+	PhaseChange           = obs.PhaseChange
+	ExecDone              = obs.ExecDone
+	SeedAccepted          = obs.SeedAccepted
+	InterleavingScheduled = obs.InterleavingScheduled
+	InconsistencyFound    = obs.InconsistencyFound
+	ValidationVerdict     = obs.ValidationVerdict
+	BugConfirmed          = obs.BugConfirmed
+	CampaignDone          = obs.CampaignDone
+)
+
+// Event kinds.
+const (
+	KindPhaseChange           = obs.KindPhaseChange
+	KindExecDone              = obs.KindExecDone
+	KindSeedAccepted          = obs.KindSeedAccepted
+	KindInterleavingScheduled = obs.KindInterleavingScheduled
+	KindInconsistencyFound    = obs.KindInconsistencyFound
+	KindValidationVerdict     = obs.KindValidationVerdict
+	KindBugConfirmed          = obs.KindBugConfirmed
+	KindCampaignDone          = obs.KindCampaignDone
+)
+
+// NewCollector returns an in-memory sink recording every event, for tests
+// and programmatic post-processing.
+func NewCollector() *obs.Collector { return obs.NewCollector() }
+
+// NewJSONLSink returns a sink writing one JSON object per event to w.
+func NewJSONLSink(w io.Writer) Sink { return obs.NewJSONLSink(w) }
+
+// Campaign is a running fuzzing session. It starts immediately on
+// NewCampaign and runs until its budget is exhausted or its context is
+// cancelled; while in flight it exposes a live event stream and statistics
+// snapshots instead of the old fire-and-forget blocking call.
+type Campaign struct {
+	fz     *fuzz.Fuzzer
+	em     *obs.Emitter
+	events <-chan obs.Event
+	done   chan struct{}
+	res    *Result
+	err    error
+}
+
+// NewCampaign creates and starts a fuzzing campaign against a registered
+// target. Cancelling ctx stops every worker at its next inter-execution
+// check — within one execution — after which Wait returns the partial
+// Result accumulated so far.
+//
+//	ctx, cancel := context.WithCancel(context.Background())
+//	defer cancel()
+//	c, err := pmrace.NewCampaign(ctx, "pclht",
+//		pmrace.WithWorkers(8),
+//		pmrace.WithBudget(500, 2*time.Minute))
+//	if err != nil { ... }
+//	for ev := range c.Events() {
+//		if bug, ok := ev.(*pmrace.BugConfirmed); ok {
+//			fmt.Println("bug:", bug.Summary)
+//		}
+//	}
+//	res, _ := c.Wait()
+func NewCampaign(ctx context.Context, target string, options ...CampaignOption) (*Campaign, error) {
+	cfg := campaignConfig{eventBuf: 4096}
+	for _, o := range options {
+		o(&cfg)
+	}
+	fz, err := fuzz.New(target, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+
+	em := obs.NewEmitter(cfg.sinks...)
+	if cfg.progress != nil {
+		em.AddSink(obs.NewProgressSink(cfg.progress, cfg.progressInterval, fz.Snapshot))
+	}
+	events := em.Subscribe(cfg.eventBuf)
+	fz.SetEmitter(em)
+
+	c := &Campaign{fz: fz, em: em, events: events, done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		c.res, c.err = fz.RunContext(ctx)
+		// Close after the terminal CampaignDone event: the Events()
+		// channel drains and then closes, ending consumer range loops.
+		c.em.Close()
+	}()
+	return c, nil
+}
+
+// Events returns the campaign's event stream. The channel is buffered
+// (WithEventBuffer); if the consumer falls behind, the oldest buffered
+// event is shed — attach a Sink for lossless consumption. The channel is
+// closed once the campaign is over and the terminal CampaignDone event has
+// been delivered.
+func (c *Campaign) Events() <-chan Event { return c.events }
+
+// Snapshot returns live campaign statistics; safe to call at any time from
+// any goroutine. After the campaign finishes, it equals the final Result's
+// aggregates.
+func (c *Campaign) Snapshot() Stats { return c.fz.Snapshot() }
+
+// Done returns a channel closed when the campaign has finished.
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// Wait blocks until the campaign finishes and returns its Result. On
+// context cancellation the partial Result is returned without error —
+// cancellation is a normal way to end a campaign, like exhausting the
+// budget. Wait may be called multiple times and from multiple goroutines.
+func (c *Campaign) Wait() (*Result, error) {
+	<-c.done
+	return c.res, c.err
+}

@@ -5,15 +5,26 @@
 // Usage:
 //
 //	pmrace -target pclht -execs 120 -workers 4
+//	pmrace -target pclht -execs 50 -json > trace.jsonl
+//	pmrace -target memcached -mode delay -duration 30s -progress
 //	pmrace -list
-//	pmrace -target memcached -mode delay -duration 30s
+//
+// With -json the typed event stream (exec_done, seed_accepted,
+// inconsistency_found, validation_verdict, bug_confirmed, campaign_done,
+// ...) goes to stdout as JSON lines and the human summary moves to stderr.
+// Ctrl-C cancels the campaign's context: workers stop within one execution
+// and the partial results are reported.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	pmrace "github.com/pmrace-go/pmrace"
@@ -35,6 +46,8 @@ func main() {
 		eadr     = flag.Bool("eadr", false, "model battery-backed caches (stores durable at visibility)")
 		corpus   = flag.String("corpus", "", "seed-corpus directory (loaded at start, improving seeds saved back)")
 		replay   = flag.String("replay", "", "replay one saved .seed file against the target and exit")
+		jsonOut  = flag.Bool("json", false, "stream the event trace as JSONL to stdout (summary goes to stderr)")
+		progress = flag.Bool("progress", false, "render a 1 Hz status line while fuzzing")
 		verbose  = flag.Bool("v", false, "print full per-inconsistency reports")
 	)
 	flag.Parse()
@@ -55,59 +68,92 @@ func main() {
 		return
 	}
 
-	opts := pmrace.Options{
-		MaxExecs:      *execs,
-		Duration:      *duration,
-		Workers:       *workers,
-		Threads:       *threads,
-		Seed:          *seed,
-		NoCheckpoints: *noCP,
-		EADR:          *eadr,
-		CorpusDir:     *corpus,
-	}
+	var explore pmrace.ExploreMode
 	switch strings.ToLower(*mode) {
 	case "pmrace":
-		opts.Mode = pmrace.ModePMAware
+		explore = pmrace.ModePMAware
 	case "delay":
-		opts.Mode = pmrace.ModeDelayInj
+		explore = pmrace.ModeDelayInj
 	case "none":
-		opts.Mode = pmrace.ModeNone
+		explore = pmrace.ModeNone
 	default:
 		fmt.Fprintf(os.Stderr, "pmrace: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
 
-	fmt.Printf("fuzzing %s (%s exploration, %d workers, budget %d execs / %s)\n",
-		*target, opts.Mode, opts.Workers, opts.MaxExecs, *duration)
-	res, err := pmrace.Fuzz(*target, opts)
+	options := []pmrace.CampaignOption{
+		pmrace.WithBudget(*execs, *duration),
+		pmrace.WithWorkers(*workers),
+		pmrace.WithThreads(*threads),
+		pmrace.WithSeed(*seed),
+		pmrace.WithMode(explore),
+		pmrace.WithCorpusDir(*corpus),
+	}
+	if *noCP {
+		options = append(options, pmrace.WithoutCheckpoints())
+	}
+	if *eadr {
+		options = append(options, pmrace.WithEADR())
+	}
+	// The human-readable stream: stdout normally, stderr when stdout
+	// carries the JSONL trace.
+	out := io.Writer(os.Stdout)
+	if *jsonOut {
+		out = os.Stderr
+		options = append(options, pmrace.WithJSONTrace(os.Stdout))
+	}
+	if *progress {
+		options = append(options, pmrace.WithProgress(out))
+	}
+
+	// Ctrl-C cancels the campaign context: workers finish their current
+	// execution and stop; partial results are still reported below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(out, "fuzzing %s (%s exploration, %d workers, budget %d execs / %s)\n",
+		*target, explore, *workers, *execs, *duration)
+	c, err := pmrace.NewCampaign(ctx, *target, options...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmrace: %v\n", err)
 		os.Exit(1)
 	}
+	// Drain the event stream until the campaign closes it; sinks (-json)
+	// run independently of this loop.
+	for range c.Events() {
+	}
+	res, err := c.Wait()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmrace: %v\n", err)
+		os.Exit(1)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(out, "\ninterrupted — partial results\n")
+	}
 
-	fmt.Printf("\n%d executions over %d seeds in %s (%.1f exec/s)\n",
+	fmt.Fprintf(out, "\n%d executions over %d seeds in %s (%.1f exec/s)\n",
 		res.Execs, res.Seeds, res.Elapsed.Round(time.Millisecond), res.ExecsPerSec)
-	fmt.Printf("coverage: %d branch bits, %d PM alias pair bits\n", res.BranchCov, res.AliasCov)
-	c := res.Counts
-	fmt.Printf("candidates: %d inter, %d intra\n", c.InterCandidates, c.IntraCandidates)
-	fmt.Printf("inconsistencies: %d inter (%d validated FP, %d whitelisted FP), %d intra, %d sync (%d FP)\n",
-		c.Inter, c.InterValidated, c.InterWhitelist, c.Intra, c.Sync, c.SyncValidated)
+	fmt.Fprintf(out, "coverage: %d branch bits, %d PM alias pair bits\n", res.BranchCov, res.AliasCov)
+	c2 := res.Counts
+	fmt.Fprintf(out, "candidates: %d inter, %d intra\n", c2.InterCandidates, c2.IntraCandidates)
+	fmt.Fprintf(out, "inconsistencies: %d inter (%d validated FP, %d whitelisted FP), %d intra, %d sync (%d FP)\n",
+		c2.Inter, c2.InterValidated, c2.InterWhitelist, c2.Intra, c2.Sync, c2.SyncValidated)
 
-	fmt.Printf("\nunique bugs (%d):\n", len(res.Bugs))
+	fmt.Fprintf(out, "\nunique bugs (%d):\n", len(res.Bugs))
 	for _, b := range res.Bugs {
-		fmt.Printf("  [%s] %s — %s\n", b.Kind, site.Lookup(b.GroupSite), b.Summary)
+		fmt.Fprintf(out, "  [%s] %s — %s\n", b.Kind, site.Lookup(b.GroupSite), b.Summary)
 	}
 	for _, o := range res.DB.Others() {
-		fmt.Printf("  [Other] %s — %s: %s\n", site.Lookup(o.Site), o.Kind, o.Description)
+		fmt.Fprintf(out, "  [Other] %s — %s: %s\n", site.Lookup(o.Site), o.Kind, o.Description)
 	}
 
 	if *verbose {
-		fmt.Println("\ndetailed reports:")
+		fmt.Fprintln(out, "\ndetailed reports:")
 		for _, j := range res.DB.Inconsistencies() {
-			fmt.Println(core.FormatInconsistency(j))
+			fmt.Fprintln(out, core.FormatInconsistency(j))
 		}
 		for _, j := range res.DB.Syncs() {
-			fmt.Println(core.FormatSync(j))
+			fmt.Fprintln(out, core.FormatSync(j))
 		}
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,30 +20,43 @@ import (
 )
 
 func main() {
-	res, err := pmrace.Fuzz("memcached", pmrace.Options{
-		MaxExecs: 150,
-		Duration: 2 * time.Minute,
-		Workers:  2,
-		Seed:     5,
+	// A Collector sink records the full lossless event trace; the live
+	// Events() channel is used for in-flight reporting below.
+	trace := pmrace.NewCollector()
+	c, err := pmrace.NewCampaign(context.Background(), "memcached",
+		pmrace.WithBudget(150, 2*time.Minute),
+		pmrace.WithWorkers(2),
+		pmrace.WithSeed(5),
 		// memcached-pmem protects value reads with checksums; the
 		// whitelist marks that crash-consistent pattern benign (§4.4).
-		ExtraWhitelist: []string{"memcached.(*KV).checksum"},
-	})
+		pmrace.WithWhitelist("memcached.(*KV).checksum"),
+		pmrace.WithSink(trace),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	for ev := range c.Events() {
+		if v, ok := ev.(*pmrace.ValidationVerdict); ok {
+			fmt.Printf("post-failure validation: %-5s inconsistency -> %s\n", v.Class, v.Status)
+		}
+	}
+	res, err := c.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nevent trace: %d events recorded by the collector\n", len(trace.Events()))
 
 	fmt.Printf("fuzzed memcached-pmem: %d executions, %d seeds, %.1f exec/s\n",
 		res.Execs, res.Seeds, res.ExecsPerSec)
 	fmt.Printf("coverage: %d branch bits, %d PM alias pair bits\n\n", res.BranchCov, res.AliasCov)
 
-	c := res.Counts
+	counts := res.Counts
 	fmt.Println("detection funnel (the paper's Table 3 row):")
-	fmt.Printf("  %4d PM inter-thread inconsistency candidates\n", c.InterCandidates)
-	fmt.Printf("  %4d confirmed inter-thread inconsistencies\n", c.Inter)
-	fmt.Printf("  %4d validated false positives (index rebuild overwrote the side effect)\n", c.InterValidated)
-	fmt.Printf("  %4d whitelisted false positives (checksummed reads)\n", c.InterWhitelist)
-	fmt.Printf("  %4d unique inter-thread bugs survive\n\n", c.InterBugs)
+	fmt.Printf("  %4d PM inter-thread inconsistency candidates\n", counts.InterCandidates)
+	fmt.Printf("  %4d confirmed inter-thread inconsistencies\n", counts.Inter)
+	fmt.Printf("  %4d validated false positives (index rebuild overwrote the side effect)\n", counts.InterValidated)
+	fmt.Printf("  %4d whitelisted false positives (checksummed reads)\n", counts.InterWhitelist)
+	fmt.Printf("  %4d unique inter-thread bugs survive\n\n", counts.InterBugs)
 
 	fmt.Printf("unique bugs (%d):\n", len(res.Bugs))
 	for _, b := range res.Bugs {

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -93,12 +94,24 @@ func (c *AuditCounter) Recover(t *rt.Thread) error {
 func main() {
 	pmrace.RegisterTarget("audit-counter", func() pmrace.Target { return &AuditCounter{} })
 
-	res, err := pmrace.Fuzz("audit-counter", pmrace.Options{
-		MaxExecs: 60,
-		Threads:  4,
-		KeySpace: 4, // hot keys: every op hits the same counter anyway
-		Seed:     42,
-	})
+	c, err := pmrace.NewCampaign(context.Background(), "audit-counter",
+		pmrace.WithBudget(60, 0),
+		pmrace.WithThreads(4),
+		pmrace.WithKeySpace(4), // hot keys: every op hits the same counter anyway
+		pmrace.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The campaign streams typed events while it runs; report each bug the
+	// moment post-failure validation confirms it.
+	for ev := range c.Events() {
+		if bug, ok := ev.(*pmrace.BugConfirmed); ok {
+			fmt.Printf("confirmed while fuzzing: [%s] %s\n", bug.Class, bug.Summary)
+		}
+	}
+	res, err := c.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}

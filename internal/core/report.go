@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/pmrace-go/pmrace/internal/obs"
 	"github.com/pmrace-go/pmrace/internal/site"
 )
 
@@ -141,6 +142,7 @@ type UniqueBug struct {
 // paper's evaluation aggregates (Tables 2/3/5/6).
 type DB struct {
 	mu     sync.Mutex
+	em     *obs.Emitter
 	incons map[[3]uint32]*JudgedInconsistency
 	order  [][3]uint32
 	syncs  map[string]*JudgedSync // key: varName + site
@@ -156,36 +158,107 @@ func NewDB() *DB {
 	}
 }
 
+// SetEmitter attaches the observability emitter: new deduplicated findings
+// emit InconsistencyFound, and verdicts that land as bugs emit BugConfirmed.
+// Call before the campaign starts; a nil emitter (the default) is inert.
+func (db *DB) SetEmitter(em *obs.Emitter) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.em = em
+}
+
 // MergeInconsistency records an inconsistency found during a campaign,
 // deduplicating against earlier campaigns. It returns the judged record (new
 // or existing) and whether it was new.
 func (db *DB) MergeInconsistency(in *Inconsistency) (*JudgedInconsistency, bool) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if prev, ok := db.incons[in.Key()]; ok {
 		prev.Count += in.Count
+		db.mu.Unlock()
 		return prev, false
 	}
 	j := &JudgedInconsistency{Inconsistency: in, Status: StatusPending}
 	db.incons[in.Key()] = j
 	db.order = append(db.order, in.Key())
+	em := db.em
+	db.mu.Unlock()
+	em.Emit(&obs.InconsistencyFound{
+		Class:     classOf(in.Kind),
+		WriteSite: site.Lookup(site.ID(in.Event.WriteSite)).String(),
+		ReadSite:  site.Lookup(site.ID(in.Event.ReadSite)).String(),
+		StoreSite: site.Lookup(in.StoreSite).String(),
+		Flow:      strings.ToLower(in.Flow.String()),
+	})
 	return j, true
+}
+
+// classOf maps a finding kind to its event-stream class label.
+func classOf(k Kind) string {
+	switch k {
+	case KindInter, KindInterCandidate:
+		return "inter"
+	case KindIntra, KindIntraCandidate:
+		return "intra"
+	default:
+		return "sync"
+	}
 }
 
 // MergeSync records a synchronization inconsistency, deduplicating by
 // variable and site.
 func (db *DB) MergeSync(si *SyncInconsistency) (*JudgedSync, bool) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	key := fmt.Sprintf("%s@%d", si.Var.Name, si.Site)
 	if prev, ok := db.syncs[key]; ok {
 		prev.Count += si.Count
+		db.mu.Unlock()
 		return prev, false
 	}
 	j := &JudgedSync{SyncInconsistency: si, Status: StatusPending}
 	db.syncs[key] = j
 	db.syncO = append(db.syncO, key)
+	em := db.em
+	db.mu.Unlock()
+	em.Emit(&obs.InconsistencyFound{
+		Class:     "sync",
+		StoreSite: site.Lookup(si.Site).String(),
+		Var:       si.Var.Name,
+	})
 	return j, true
+}
+
+// Judge records the post-failure verdict on an inter-/intra-thread finding,
+// emitting BugConfirmed when it survives validation as a bug.
+func (db *DB) Judge(j *JudgedInconsistency, st Status) {
+	db.mu.Lock()
+	j.Status = st
+	em := db.em
+	db.mu.Unlock()
+	if st == StatusBug {
+		em.Emit(&obs.BugConfirmed{
+			Class: classOf(j.Kind),
+			Site:  site.Lookup(site.ID(j.Event.WriteSite)).String(),
+			Summary: fmt.Sprintf("durable side effect at %s based on non-persisted data from %s",
+				site.Lookup(j.StoreSite), site.Lookup(site.ID(j.Event.WriteSite))),
+		})
+	}
+}
+
+// JudgeSync is the synchronization-variable analogue of Judge.
+func (db *DB) JudgeSync(j *JudgedSync, st Status) {
+	db.mu.Lock()
+	j.Status = st
+	em := db.em
+	db.mu.Unlock()
+	if st == StatusBug {
+		em.Emit(&obs.BugConfirmed{
+			Class: "sync",
+			Site:  site.Lookup(j.Site).String(),
+			Var:   j.Var.Name,
+			Summary: fmt.Sprintf("persistent synchronization variable %q updated at %s survives restart",
+				j.Var.Name, site.Lookup(j.Site)),
+		})
+	}
 }
 
 // AddOther records a finding outside the two main patterns, deduplicated by
@@ -251,10 +324,16 @@ type Counts struct {
 }
 
 // Tally computes the verdict aggregates. Candidate counts must be supplied
-// by the caller (they live in per-campaign detectors).
+// by the caller (they live in per-campaign detectors). The whole aggregation
+// holds the lock: verdict fields (Status, Count) are written under it by
+// Judge/Merge while the campaign runs, and Tally may be called concurrently
+// through live statistics snapshots.
 func (db *DB) Tally() Counts {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	var c Counts
-	for _, j := range db.Inconsistencies() {
+	for _, k := range db.order {
+		j := db.incons[k]
 		switch j.Kind {
 		case KindInter:
 			c.Inter++
@@ -274,13 +353,14 @@ func (db *DB) Tally() Counts {
 			}
 		}
 	}
-	for _, j := range db.Syncs() {
+	for _, k := range db.syncO {
+		j := db.syncs[k]
 		c.Sync++
 		if j.Status == StatusValidatedFP || j.Status == StatusWhitelistedFP {
 			c.SyncValidated++
 		}
 	}
-	bugs := db.UniqueBugs()
+	bugs := db.uniqueBugsLocked()
 	for _, b := range bugs {
 		switch b.Kind {
 		case KindInter:
@@ -291,14 +371,21 @@ func (db *DB) Tally() Counts {
 			c.SyncBugs++
 		}
 	}
-	c.OtherBugs = len(db.Others())
+	c.OtherBugs = len(db.others)
 	return c
 }
 
 // UniqueBugs groups the surviving (non-FP) inconsistencies by the store
 // instruction that produced the non-persisted data, and synchronization
-// inconsistencies by variable, producing the paper's unique-bug counts.
+// inconsistencies by variable, producing the paper's unique-bug counts. Safe
+// to call while the campaign is still judging findings.
 func (db *DB) UniqueBugs() []UniqueBug {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.uniqueBugsLocked()
+}
+
+func (db *DB) uniqueBugsLocked() []UniqueBug {
 	type group struct {
 		kind    Kind
 		site    site.ID
@@ -308,7 +395,8 @@ func (db *DB) UniqueBugs() []UniqueBug {
 	}
 	groups := map[string]*group{}
 	var order []string
-	for _, j := range db.Inconsistencies() {
+	for _, k := range db.order {
+		j := db.incons[k]
 		if j.Status == StatusValidatedFP || j.Status == StatusWhitelistedFP {
 			continue
 		}
@@ -327,7 +415,8 @@ func (db *DB) UniqueBugs() []UniqueBug {
 		}
 		g.samples += j.Count
 	}
-	for _, j := range db.Syncs() {
+	for _, k := range db.syncO {
+		j := db.syncs[k]
 		if j.Status == StatusValidatedFP || j.Status == StatusWhitelistedFP {
 			continue
 		}

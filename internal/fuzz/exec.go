@@ -6,6 +6,7 @@ import (
 
 	"github.com/pmrace-go/pmrace/internal/core"
 	"github.com/pmrace-go/pmrace/internal/cover"
+	"github.com/pmrace-go/pmrace/internal/obs"
 	"github.com/pmrace-go/pmrace/internal/pmem"
 	"github.com/pmrace-go/pmrace/internal/rt"
 	"github.com/pmrace-go/pmrace/internal/sched"
@@ -77,6 +78,10 @@ type Executor struct {
 	factory targets.Factory
 	opts    ExecOptions
 
+	// Cached metric handles; nil (no-op) until SetEmitter.
+	mRestores *obs.Counter
+	hExec     *obs.Histogram
+
 	snapMu sync.Mutex
 	snap   *pmem.Snapshot
 
@@ -93,6 +98,13 @@ func NewExecutor(factory targets.Factory, opts ExecOptions) *Executor {
 		opts.HangTimeout = 80 * time.Millisecond
 	}
 	return &Executor{factory: factory, opts: opts}
+}
+
+// SetEmitter wires the executor's metrics (checkpoint restores, execution
+// latency) into the campaign registry. Call before Run.
+func (x *Executor) SetEmitter(em *obs.Emitter) {
+	x.mRestores = em.Registry().Counter(obs.MCheckpointRestores)
+	x.hExec = em.Registry().Histogram(obs.HExecLatency)
 }
 
 // newPool creates a pool honouring the executor's platform options.
@@ -139,6 +151,7 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 		if v := x.pools.Get(); v != nil {
 			pool = v.(*pmem.Pool)
 			pool.Restore(snap) // dirty-line restore
+			x.mRestores.Inc()
 		} else {
 			pool = pmem.NewFromSnapshot(snap)
 		}
@@ -247,5 +260,6 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 		x.pools.Put(pool)
 	}
 	res.Duration = time.Since(start)
+	x.hExec.Observe(res.Duration)
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"github.com/pmrace-go/pmrace/internal/core"
 	"github.com/pmrace-go/pmrace/internal/cover"
+	"github.com/pmrace-go/pmrace/internal/obs"
 	"github.com/pmrace-go/pmrace/internal/pmdk"
 	"github.com/pmrace-go/pmrace/internal/pmem"
 	"github.com/pmrace-go/pmrace/internal/sched"
@@ -167,10 +169,25 @@ type Result struct {
 
 // Fuzzer is PMRace's top-level fuzzing engine for one target.
 type Fuzzer struct {
-	factory   targets.Factory
-	opts      Options
-	exec      *Executor
-	whitelist *core.Whitelist
+	factory    targets.Factory
+	targetName string
+	opts       Options
+	exec       *Executor
+	whitelist  *core.Whitelist
+
+	// ctx stops workers between executions when cancelled; set by
+	// RunContext for the run's duration.
+	ctx context.Context
+
+	// em is the observability hub; every campaign has one (sink-less by
+	// default). The handles below are its cached registry metrics.
+	em      *obs.Emitter
+	mExecs  *obs.Counter
+	mSeeds  *obs.Counter
+	mInterl *obs.Counter
+	mIncons *obs.Counter
+	gBranch *obs.Gauge
+	gAlias  *obs.Gauge
 
 	mu         sync.Mutex
 	corpus     []*workload.Seed
@@ -219,9 +236,10 @@ func NewWithFactory(factory targets.Factory, opts Options) *Fuzzer {
 	if mut == nil {
 		mut = NewOpMutator(opts.KeySpace, opts.Threads, opts.OpsPerSeed)
 	}
-	return &Fuzzer{
-		factory: factory,
-		opts:    opts,
+	f := &Fuzzer{
+		factory:    factory,
+		targetName: factory().Name(),
+		opts:       opts,
 		exec: NewExecutor(factory, ExecOptions{
 			HangTimeout:    opts.HangTimeout,
 			UseCheckpoints: !opts.NoCheckpoints,
@@ -239,31 +257,83 @@ func NewWithFactory(factory targets.Factory, opts Options) *Fuzzer {
 		candSeen:  make(map[[2]uint32]struct{}),
 		mutator:   mut,
 	}
+	f.SetEmitter(obs.NewEmitter())
+	return f
 }
+
+// SetEmitter replaces the campaign's observability emitter and rewires the
+// producer layers (executor, detection DB, metric handles) to it. Call
+// before Run; the campaign session API uses this to attach the caller's
+// sinks and event channel.
+func (f *Fuzzer) SetEmitter(em *obs.Emitter) {
+	f.em = em
+	f.exec.SetEmitter(em)
+	f.db.SetEmitter(em)
+	reg := em.Registry()
+	f.mExecs = reg.Counter(obs.MExecs)
+	f.mSeeds = reg.Counter(obs.MSeedsAccepted)
+	f.mInterl = reg.Counter(obs.MInterleavings)
+	f.mIncons = reg.Counter(obs.MInconsistencies)
+	f.gBranch = reg.Gauge(obs.MBranchCov)
+	f.gAlias = reg.Gauge(obs.MAliasCov)
+}
+
+// Emitter returns the campaign's observability emitter.
+func (f *Fuzzer) Emitter() *obs.Emitter { return f.em }
 
 // Run executes the fuzzing loop until the execution or time budget is
 // exhausted and returns the aggregated result.
-func (f *Fuzzer) Run() (*Result, error) {
+func (f *Fuzzer) Run() (*Result, error) { return f.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled,
+// every worker stops at its next inter-execution check (within one
+// execution) and the partial Result accumulated so far is returned without
+// error — cancellation is a normal way to end a campaign, like exhausting
+// the budget.
+func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
+	// Snapshot may run concurrently from the first instant, so even the
+	// setup writes take the fuzzer lock.
+	f.mu.Lock()
+	f.ctx = ctx
 	f.start = time.Now()
+	f.mu.Unlock()
+	f.em.Emit(&obs.PhaseChange{Phase: "fuzzing", Prev: "init"})
 	gen := workload.NewGenerator(f.opts.Seed, f.opts.KeySpace, f.opts.Threads)
 	// The initial corpus combines a random mixed-operation seed, a
 	// populate-heavy seed (the load phase with many insertions triggers
 	// the resizing mechanisms of PM key-value stores and indexes) and a
 	// hot-key read-modify-write seed (similar keys maximize shared PM
 	// accesses and arm the read-after-write sync points) — §4.5.
-	f.corpus = []*workload.Seed{
+	initial := []*workload.Seed{
 		gen.NewSeed(f.opts.OpsPerSeed),
 		gen.PopulationSeed(f.opts.OpsPerSeed * 2),
 		gen.HotKeySeed(f.opts.OpsPerSeed),
 	}
+	f.mu.Lock()
+	f.corpus = initial
+	f.mu.Unlock()
+	for _, s := range initial {
+		f.mSeeds.Inc()
+		f.em.Emit(&obs.SeedAccepted{Origin: "initial", Ops: len(s.Ops), CorpusSize: len(initial)})
+	}
+	corpusLen := len(initial)
 	if f.opts.CorpusDir != "" {
 		loaded, err := LoadCorpus(f.opts.CorpusDir, f.opts.Threads)
 		if err != nil {
 			return nil, err
 		}
+		f.mu.Lock()
 		f.corpus = append(f.corpus, loaded...)
+		corpusLen = len(f.corpus)
+		f.mu.Unlock()
+		for _, s := range loaded {
+			f.mSeeds.Inc()
+			f.em.Emit(&obs.SeedAccepted{Origin: "corpus-dir", Ops: len(s.Ops), CorpusSize: corpusLen})
+		}
 	}
-	f.seedCount = len(f.corpus)
+	f.mu.Lock()
+	f.seedCount = corpusLen
+	f.mu.Unlock()
 
 	// Each worker owns a private seeded RNG: nothing on the hot path ever
 	// touches the locked global math/rand source, and a campaign at a given
@@ -277,7 +347,7 @@ func (f *Fuzzer) Run() (*Result, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(f.opts.Seed + int64(w)*7919))
 			for !f.done() {
-				if err := f.seedCampaign(rng); err != nil {
+				if err := f.seedCampaign(rng, w); err != nil {
 					errCh <- err
 					return
 				}
@@ -290,10 +360,16 @@ func (f *Fuzzer) Run() (*Result, error) {
 		return nil, err
 	default:
 	}
-	return f.result(), nil
+	res := f.result()
+	f.em.Emit(&obs.PhaseChange{Phase: "done", Prev: "fuzzing"})
+	f.em.Emit(&obs.CampaignDone{Stats: f.Snapshot()})
+	return res, nil
 }
 
 func (f *Fuzzer) done() bool {
+	if f.ctx != nil && f.ctx.Err() != nil {
+		return true
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.execs >= f.opts.MaxExecs || time.Since(f.start) >= f.opts.Duration
@@ -302,14 +378,14 @@ func (f *Fuzzer) done() bool {
 // seedCampaign runs one seed-tier iteration: pick or evolve a seed, run the
 // execution tier, then walk the priority queue for interleaving-tier
 // exploration (paper §4.2.3).
-func (f *Fuzzer) seedCampaign(rng *rand.Rand) error {
+func (f *Fuzzer) seedCampaign(rng *rand.Rand, worker int) error {
 	seed := f.pickSeed(rng)
 
 	// Execution tier: base executions collecting coverage and the shared
 	// PM access statistics that feed the priority queue.
 	improved := false
 	for i := 0; i < f.opts.ExecsPerInterleaving && !f.done(); i++ {
-		imp, err := f.runOne(seed, f.baseStrategy(rng))
+		imp, err := f.runOne(seed, f.baseStrategy(rng), worker)
 		if err != nil {
 			return err
 		}
@@ -325,11 +401,19 @@ func (f *Fuzzer) seedCampaign(rng *rand.Rand) error {
 			if entry == nil {
 				break
 			}
+			skip := f.skipFor(entry.Addr)
+			f.mInterl.Inc()
+			f.em.Emit(&obs.InterleavingScheduled{
+				Worker:   worker,
+				Addr:     uint64(entry.Addr),
+				Priority: entry.Priority,
+				Skip:     skip,
+			})
 			for e := 0; e < f.opts.ExecsPerInterleaving && !f.done(); e++ {
 				cfg := f.opts.Sched
 				cfg.Seed = rng.Int63()
 				pm := sched.NewPMAware(cfg, entry, f.skipFor(entry.Addr))
-				imp, err := f.runOne(seed, pm)
+				imp, err := f.runOne(seed, pm, worker)
 				if err != nil {
 					return err
 				}
@@ -346,6 +430,11 @@ func (f *Fuzzer) seedCampaign(rng *rand.Rand) error {
 
 	if improved {
 		f.saveCorpusSeed(seed)
+		f.mSeeds.Inc()
+		f.mu.Lock()
+		corpusLen := len(f.corpus)
+		f.mu.Unlock()
+		f.em.Emit(&obs.SeedAccepted{Origin: "improving", Ops: len(seed.Ops), CorpusSize: corpusLen})
 	}
 
 	// Seed tier: evolve the corpus when this seed stopped helping.
@@ -411,14 +500,14 @@ func (f *Fuzzer) addSkip(addr pmem.Addr, n int) {
 // runOne executes the seed once, validates new findings post-failure, and
 // merges everything into the global state. It reports whether coverage
 // improved.
-func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy) (bool, error) {
+func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (bool, error) {
 	res, err := f.exec.Run(seed, strat)
 	if err != nil {
 		return false, err
 	}
 
 	// Post-failure stage: judge each newly discovered inconsistency.
-	vopts := validate.Options{HangTimeout: f.opts.HangTimeout, Whitelist: f.whitelist}
+	vopts := validate.Options{HangTimeout: f.opts.HangTimeout, Whitelist: f.whitelist, Obs: f.em}
 	type judgement struct {
 		j  *core.JudgedInconsistency
 		st core.Status
@@ -466,14 +555,14 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy) (bool, error)
 		pmem.RecycleImage(cap.Img)
 	}
 
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	for _, jj := range judged {
-		jj.j.Status = jj.st
+		f.db.Judge(jj.j, jj.st)
 	}
 	for i, st := range syncJudged {
-		newSyncJ[i].Status = st
+		f.db.JudgeSync(newSyncJ[i], st)
 	}
+
+	f.mu.Lock()
 	hungThisExec := map[string]bool{}
 	for _, h := range res.Hangs {
 		f.hangSites[h.Site] = struct{}{}
@@ -527,11 +616,29 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy) (bool, error)
 	}
 	newBits := f.cov.Merge(res.Coverage)
 	f.execs++
+	execNo := f.execs
 	if res.InterInconsistencies() > 0 {
 		f.firstInt = append(f.firstInt, time.Since(f.start))
 	}
 	br, al := f.cov.Counts()
 	f.timeline = append(f.timeline, CoverPoint{T: time.Since(f.start), Branch: br, Alias: al})
+	f.mu.Unlock()
+
+	f.mExecs.Inc()
+	f.mIncons.Add(int64(len(res.Inconsistencies) + len(res.Syncs)))
+	f.gBranch.Set(int64(br))
+	f.gAlias.Set(int64(al))
+	f.em.Emit(&obs.ExecDone{
+		Exec:            execNo,
+		Worker:          worker,
+		NewBits:         newBits,
+		BranchCov:       br,
+		AliasCov:        al,
+		Candidates:      len(res.Candidates),
+		Inconsistencies: len(res.Inconsistencies),
+		Syncs:           len(res.Syncs),
+		Duration:        res.Duration,
+	})
 	return newBits > 0, nil
 }
 
@@ -541,7 +648,7 @@ func (f *Fuzzer) result() *Result {
 	br, al := f.cov.Counts()
 	elapsed := time.Since(f.start)
 	r := &Result{
-		Target:          f.factory().Name(),
+		Target:          f.targetName,
 		Mode:            f.opts.Mode,
 		Execs:           f.execs,
 		Seeds:           f.seedCount,
@@ -568,4 +675,39 @@ func (f *Fuzzer) result() *Result {
 	r.Counts.InterCandidates = f.candInter
 	r.Counts.IntraCandidates = f.candIntra
 	return r
+}
+
+// Snapshot returns a live point-in-time statistics view of the campaign.
+// It is safe to call concurrently with Run; after Run returns, the numbers
+// equal the final Result's aggregates (and the terminal CampaignDone event
+// carries exactly this snapshot).
+func (f *Fuzzer) Snapshot() obs.Stats {
+	f.mu.Lock()
+	br, al := f.cov.Counts()
+	var elapsed time.Duration
+	if !f.start.IsZero() {
+		elapsed = time.Since(f.start)
+	}
+	execs := f.execs
+	seeds := f.seedCount
+	f.mu.Unlock()
+
+	st := obs.Stats{
+		Target:             f.targetName,
+		Mode:               f.opts.Mode.String(),
+		Execs:              execs,
+		Seeds:              seeds,
+		BranchCov:          br,
+		AliasCov:           al,
+		Inconsistencies:    len(f.db.Inconsistencies()) + len(f.db.Syncs()),
+		Bugs:               len(f.db.UniqueBugs()),
+		Elapsed:            elapsed,
+		CheckpointRestores: f.em.Registry().Counter(obs.MCheckpointRestores).Value(),
+		Validations:        f.em.Registry().Counter(obs.MValidations).Value(),
+		EventsDropped:      f.em.Dropped(),
+	}
+	if elapsed > 0 {
+		st.ExecsPerSec = float64(execs) / elapsed.Seconds()
+	}
+	return st
 }

@@ -99,7 +99,7 @@ func TestRunOneMergesEverything(t *testing.T) {
 		{Kind: workload.OpSet, Key: "b", Value: "2"},
 		{Kind: workload.OpGet, Key: "b"},
 	}}
-	improved, err := f.runOne(seed, sched.None{})
+	improved, err := f.runOne(seed, sched.None{}, 0)
 	if err != nil {
 		t.Fatalf("runOne: %v", err)
 	}
@@ -114,9 +114,9 @@ func TestRunOneMergesEverything(t *testing.T) {
 	}
 	// Re-running the same seed should not improve coverage forever.
 	for i := 0; i < 3; i++ {
-		f.runOne(seed, sched.None{})
+		f.runOne(seed, sched.None{}, 0)
 	}
-	improved, err = f.runOne(seed, sched.None{})
+	improved, err = f.runOne(seed, sched.None{}, 0)
 	if err != nil {
 		t.Fatalf("runOne: %v", err)
 	}
@@ -137,7 +137,7 @@ func TestValidationRunsOnDetection(t *testing.T) {
 		{Kind: workload.OpGet, Key: "b"},
 	}}
 	for i := 0; i < 4; i++ {
-		if _, err := f.runOne(seed, sched.None{}); err != nil {
+		if _, err := f.runOne(seed, sched.None{}, 0); err != nil {
 			t.Fatalf("runOne: %v", err)
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/obs"
 	"github.com/pmrace-go/pmrace/internal/pmem"
 	"github.com/pmrace-go/pmrace/internal/rt"
 	"github.com/pmrace-go/pmrace/internal/targets"
@@ -33,6 +34,24 @@ type Options struct {
 	HangTimeout time.Duration
 	// Whitelist holds the benign patterns; nil disables whitelisting.
 	Whitelist *core.Whitelist
+	// Obs, when set, receives a ValidationVerdict event (with the
+	// validation run's latency) per judged finding and feeds the
+	// validate_runs_total counter and validate_latency histogram.
+	Obs *obs.Emitter
+}
+
+// observe emits the verdict event and updates the validation metrics.
+func (o Options) observe(class string, r Result, started time.Time) Result {
+	lat := time.Since(started)
+	o.Obs.Registry().Counter(obs.MValidations).Inc()
+	o.Obs.Registry().Histogram(obs.HValidationLatency).Observe(lat)
+	o.Obs.Emit(&obs.ValidationVerdict{
+		Class:        class,
+		Status:       r.Status.String(),
+		RecoveryHung: r.RecoveryHung,
+		Latency:      lat,
+	})
+	return r
 }
 
 // Result is the outcome of one validation run.
@@ -48,47 +67,53 @@ type Result struct {
 // Inconsistency validates one inter-/intra-thread inconsistency against its
 // crash image.
 func Inconsistency(factory targets.Factory, img []byte, in *core.Inconsistency, opts Options) Result {
+	started := time.Now()
+	class := "intra"
+	if in.Kind == core.KindInter {
+		class = "inter"
+	}
 	if opts.Whitelist != nil && opts.Whitelist.MatchInconsistency(in) {
-		return Result{Status: core.StatusWhitelistedFP}
+		return opts.observe(class, Result{Status: core.StatusWhitelistedFP}, started)
 	}
 	if in.External {
 		// The external world cannot be overwritten by recovery: a disk
 		// write or a message based on lost PM state is a bug outright.
-		return Result{Status: core.StatusBug}
+		return opts.observe(class, Result{Status: core.StatusBug}, started)
 	}
 	env, hung, err := runRecovery(factory, img, opts)
 	if hung {
-		return Result{Status: core.StatusBug, RecoveryHung: true, RecoveryErr: err}
+		return opts.observe(class, Result{Status: core.StatusBug, RecoveryHung: true, RecoveryErr: err}, started)
 	}
 	if err != nil {
 		// Recovery could not complete: the inconsistency was not fixed.
-		return Result{Status: core.StatusBug, RecoveryErr: err}
+		return opts.observe(class, Result{Status: core.StatusBug, RecoveryErr: err}, started)
 	}
 	if env.RangeOverwritten(in.SideEffect) {
-		return Result{Status: core.StatusValidatedFP}
+		return opts.observe(class, Result{Status: core.StatusValidatedFP}, started)
 	}
-	return Result{Status: core.StatusBug}
+	return opts.observe(class, Result{Status: core.StatusBug}, started)
 }
 
 // Sync validates one synchronization inconsistency against its crash image.
 func Sync(factory targets.Factory, img []byte, si *core.SyncInconsistency, opts Options) Result {
+	started := time.Now()
 	if opts.Whitelist != nil && opts.Whitelist.MatchStack(si.Stack) {
-		return Result{Status: core.StatusWhitelistedFP}
+		return opts.observe("sync", Result{Status: core.StatusWhitelistedFP}, started)
 	}
 	env, hung, err := runRecovery(factory, img, opts)
 	if hung {
-		return Result{Status: core.StatusBug, RecoveryHung: true, RecoveryErr: err}
+		return opts.observe("sync", Result{Status: core.StatusBug, RecoveryHung: true, RecoveryErr: err}, started)
 	}
 	if err != nil {
-		return Result{Status: core.StatusBug, RecoveryErr: err}
+		return opts.observe("sync", Result{Status: core.StatusBug, RecoveryErr: err}, started)
 	}
 	if si.Addr+8 > env.Pool().Size() {
-		return Result{Status: core.StatusBug}
+		return opts.observe("sync", Result{Status: core.StatusBug}, started)
 	}
 	if env.Pool().Load64(si.Addr) == si.Var.InitVal {
-		return Result{Status: core.StatusValidatedFP}
+		return opts.observe("sync", Result{Status: core.StatusValidatedFP}, started)
 	}
-	return Result{Status: core.StatusBug}
+	return opts.observe("sync", Result{Status: core.StatusBug}, started)
 }
 
 // runRecovery restarts the target on the crash image with write recording

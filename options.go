@@ -1,0 +1,130 @@
+package pmrace
+
+import (
+	"io"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/obs"
+)
+
+// CampaignOption configures a campaign created with NewCampaign. The
+// functional options cover the public surface; zero values select the
+// evaluation defaults, consolidated in one place (fuzz.Options
+// withDefaults), so documentation and behaviour cannot drift.
+type CampaignOption func(*campaignConfig)
+
+type campaignConfig struct {
+	opts             Options
+	sinks            []obs.Sink
+	progress         io.Writer
+	progressInterval time.Duration
+	eventBuf         int
+}
+
+// WithOptions replaces the whole legacy Options struct at once — the escape
+// hatch for configurations assembled before the functional-options API, and
+// what the deprecated Fuzz wrapper uses.
+func WithOptions(opts Options) CampaignOption {
+	return func(c *campaignConfig) { c.opts = opts }
+}
+
+// WithWorkers sets the number of concurrent fuzzing workers.
+func WithWorkers(n int) CampaignOption {
+	return func(c *campaignConfig) { c.opts.Workers = n }
+}
+
+// WithThreads sets the number of driver threads per execution.
+func WithThreads(n int) CampaignOption {
+	return func(c *campaignConfig) { c.opts.Threads = n }
+}
+
+// WithMode selects the interleaving exploration strategy.
+func WithMode(m ExploreMode) CampaignOption {
+	return func(c *campaignConfig) { c.opts.Mode = m }
+}
+
+// WithBudget bounds the campaign: maxExecs executions or wall of elapsed
+// time, whichever is hit first. A zero value leaves that bound at its
+// default (200 executions / 30s).
+func WithBudget(maxExecs int, wall time.Duration) CampaignOption {
+	return func(c *campaignConfig) {
+		c.opts.MaxExecs = maxExecs
+		c.opts.Duration = wall
+	}
+}
+
+// WithSeed seeds all campaign randomness for reproducibility.
+func WithSeed(seed int64) CampaignOption {
+	return func(c *campaignConfig) { c.opts.Seed = seed }
+}
+
+// WithKeySpace sets the workload key-space size.
+func WithKeySpace(n int) CampaignOption {
+	return func(c *campaignConfig) { c.opts.KeySpace = n }
+}
+
+// WithOpsPerSeed sets the operation count of generated seeds.
+func WithOpsPerSeed(n int) CampaignOption {
+	return func(c *campaignConfig) { c.opts.OpsPerSeed = n }
+}
+
+// WithCorpusDir loads the initial corpus from dir and persists
+// coverage-improving seeds back into it.
+func WithCorpusDir(dir string) CampaignOption {
+	return func(c *campaignConfig) { c.opts.CorpusDir = dir }
+}
+
+// WithEADR models battery-backed caches (paper §6.6).
+func WithEADR() CampaignOption {
+	return func(c *campaignConfig) { c.opts.EADR = true }
+}
+
+// WithoutCheckpoints disables the in-memory pool checkpoints (Figure 10's
+// ablation).
+func WithoutCheckpoints() CampaignOption {
+	return func(c *campaignConfig) { c.opts.NoCheckpoints = true }
+}
+
+// WithMutator overrides the default operation mutator.
+func WithMutator(m Mutator) CampaignOption {
+	return func(c *campaignConfig) { c.opts.Mutator = m }
+}
+
+// WithWhitelist adds developer-specified benign patterns on top of the
+// default (mini-PMDK transactional allocation).
+func WithWhitelist(entries ...string) CampaignOption {
+	return func(c *campaignConfig) {
+		c.opts.ExtraWhitelist = append(c.opts.ExtraWhitelist, entries...)
+	}
+}
+
+// WithSink attaches an event sink (JSONL trace writer, progress line,
+// collector, ...). Sinks receive every event synchronously and never drop.
+func WithSink(s Sink) CampaignOption {
+	return func(c *campaignConfig) { c.sinks = append(c.sinks, s) }
+}
+
+// WithJSONTrace streams the campaign's event trace to w as JSON lines, one
+// event per line.
+func WithJSONTrace(w io.Writer) CampaignOption {
+	return WithSink(obs.NewJSONLSink(w))
+}
+
+// WithProgress renders a 1 Hz human status line (execs, execs/s, coverage,
+// bugs) to w while the campaign runs.
+func WithProgress(w io.Writer) CampaignOption {
+	return func(c *campaignConfig) { c.progress = w }
+}
+
+// WithProgressInterval adjusts the progress-line refresh interval (mostly
+// for tests; the default is one second).
+func WithProgressInterval(d time.Duration) CampaignOption {
+	return func(c *campaignConfig) { c.progressInterval = d }
+}
+
+// WithEventBuffer sets the Events() channel capacity (default 4096). When
+// the consumer falls behind, the oldest buffered event is shed — sinks are
+// the lossless path.
+func WithEventBuffer(n int) CampaignOption {
+	return func(c *campaignConfig) { c.eventBuf = n }
+}

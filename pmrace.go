@@ -30,11 +30,37 @@
 //
 // # Quick start
 //
-//	res, err := pmrace.Fuzz("pclht", pmrace.Options{MaxExecs: 100})
+// A fuzzing run is a Campaign: it starts immediately, streams typed events
+// (executions, accepted seeds, inconsistencies, validation verdicts,
+// confirmed bugs) while in flight, answers live statistics snapshots, and
+// stops within one execution when its context is cancelled:
+//
+//	c, err := pmrace.NewCampaign(ctx, "pclht",
+//		pmrace.WithWorkers(8),
+//		pmrace.WithBudget(500, 2*time.Minute))
 //	if err != nil { ... }
-//	for _, bug := range res.Bugs {
-//		fmt.Println(bug.Summary)
+//	for ev := range c.Events() {
+//		if bug, ok := ev.(*pmrace.BugConfirmed); ok {
+//			fmt.Println("bug:", bug.Summary)
+//		}
 //	}
+//	res, _ := c.Wait()
+//
+// # Migrating from Fuzz
+//
+// The old blocking call is a thin wrapper now; replace
+//
+//	res, err := pmrace.Fuzz("pclht", pmrace.Options{MaxExecs: 100, Workers: 8})
+//
+// with
+//
+//	c, err := pmrace.NewCampaign(ctx, "pclht",
+//		pmrace.WithBudget(100, 0), pmrace.WithWorkers(8))
+//	if err != nil { ... }
+//	res, err := c.Wait()
+//
+// and attach pmrace.WithJSONTrace / pmrace.WithProgress / pmrace.WithSink
+// for observability the old API could not offer.
 //
 // # Testing your own PM data structure
 //
@@ -42,10 +68,13 @@
 // Thread handle), register it, and fuzz it:
 //
 //	pmrace.RegisterTarget("mystruct", func() pmrace.Target { return NewMyStruct() })
-//	res, _ := pmrace.Fuzz("mystruct", pmrace.Options{})
+//	c, _ := pmrace.NewCampaign(ctx, "mystruct")
+//	res, _ := c.Wait()
 package pmrace
 
 import (
+	"context"
+
 	"github.com/pmrace-go/pmrace/internal/core"
 	"github.com/pmrace-go/pmrace/internal/fuzz"
 	"github.com/pmrace-go/pmrace/internal/pmem"
@@ -139,12 +168,17 @@ type (
 
 // Fuzz runs PMRace against a registered target until the execution or time
 // budget in opts is exhausted.
+//
+// Deprecated: use NewCampaign, which adds a streaming event API, live
+// statistics snapshots, and context cancellation (see the package comment
+// for a migration example). Fuzz remains as a one-line compatibility
+// wrapper: NewCampaign + Wait with no sinks attached.
 func Fuzz(target string, opts Options) (*Result, error) {
-	fz, err := fuzz.New(target, opts)
+	c, err := NewCampaign(context.Background(), target, WithOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	return fz.Run()
+	return c.Wait()
 }
 
 // RegisterTarget adds a PM system to the registry so Fuzz can run it.

@@ -5,9 +5,12 @@
 package pmrace_test
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
+	pmrace "github.com/pmrace-go/pmrace"
 	"github.com/pmrace-go/pmrace/internal/cover"
 	"github.com/pmrace-go/pmrace/internal/pmem"
 	"github.com/pmrace-go/pmrace/internal/site"
@@ -139,5 +142,62 @@ func TestHotPathRacePool(t *testing.T) {
 	p.Restore(snap)
 	if got := p.Load64(0); got != 0 {
 		t.Fatalf("restored pool word 0 = %d, want 0", got)
+	}
+}
+
+// TestHotPathRaceCampaignCancel hammers the campaign observability path
+// under the race detector: 8 fuzzing workers emitting events through the
+// shared emitter, a consumer draining the subscriber channel, concurrent
+// Snapshot callers, and a mid-run context cancellation that must stop every
+// worker within one execution.
+func TestHotPathRaceCampaignCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c, err := pmrace.NewCampaign(ctx, "pclht",
+		pmrace.WithBudget(1<<30, time.Hour),
+		pmrace.WithWorkers(stressGoroutines),
+		pmrace.WithSeed(9),
+		pmrace.WithSink(pmrace.NewCollector()),
+		pmrace.WithEventBuffer(64), // small ring: exercise drop-oldest shedding
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent snapshot readers racing the workers.
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = c.Snapshot()
+			}
+		}()
+	}
+
+	// Cancel once a handful of executions have flowed through the stream.
+	execs := 0
+	for ev := range c.Events() {
+		if _, ok := ev.(*pmrace.ExecDone); ok {
+			if execs++; execs == 5 {
+				cancel()
+			}
+		}
+	}
+	res, err := c.Wait()
+	close(stop)
+	snapWG.Wait()
+	if err != nil {
+		t.Fatalf("cancelled campaign returned error: %v", err)
+	}
+	if res.Execs < 5 {
+		t.Fatalf("campaign stopped after %d execs, want >= 5", res.Execs)
 	}
 }
