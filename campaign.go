@@ -55,12 +55,14 @@ func NewJSONLSink(w io.Writer) Sink { return obs.NewJSONLSink(w) }
 // cancelled; while in flight it exposes a live event stream and statistics
 // snapshots instead of the old fire-and-forget blocking call.
 type Campaign struct {
-	fz     *fuzz.Fuzzer
-	em     *obs.Emitter
-	events <-chan obs.Event
-	done   chan struct{}
-	res    *Result
-	err    error
+	fz       *fuzz.Fuzzer
+	em       *obs.Emitter
+	events   <-chan obs.Event
+	done     chan struct{}
+	httpSrv  *obs.Server
+	httpAddr string
+	res      *Result
+	err      error
 }
 
 // NewCampaign creates and starts a fuzzing campaign against a registered
@@ -98,15 +100,32 @@ func NewCampaign(ctx context.Context, target string, options ...CampaignOption) 
 	fz.SetEmitter(em)
 
 	c := &Campaign{fz: fz, em: em, events: events, done: make(chan struct{})}
+	if cfg.httpAddr != "" {
+		srv := obs.NewServer(em, func() any { return fz.Snapshot() })
+		bound, err := srv.Start(cfg.httpAddr)
+		if err != nil {
+			em.Close()
+			return nil, err
+		}
+		c.httpSrv = srv
+		c.httpAddr = bound
+	}
 	go func() {
 		defer close(c.done)
 		c.res, c.err = fz.RunContext(ctx)
 		// Close after the terminal CampaignDone event: the Events()
-		// channel drains and then closes, ending consumer range loops.
+		// channel drains and then closes, ending consumer range loops
+		// and /events SSE streams; the HTTP server goes down after its
+		// streams have drained.
 		c.em.Close()
+		c.httpSrv.Close()
 	}()
 	return c, nil
 }
+
+// HTTPAddr returns the bound address of the campaign's introspection server
+// (see WithHTTPAddr), or "" when none was requested.
+func (c *Campaign) HTTPAddr() string { return c.httpAddr }
 
 // Events returns the campaign's event stream. The channel is buffered
 // (WithEventBuffer); if the consumer falls behind, the oldest buffered

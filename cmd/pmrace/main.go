@@ -6,14 +6,23 @@
 //
 //	pmrace -target pclht -execs 120 -workers 4
 //	pmrace -target pclht -execs 50 -json > trace.jsonl
+//	pmrace -target pclht -http :8080 -artifacts ./bugs -duration 10m
 //	pmrace -target memcached -mode delay -duration 30s -progress
+//	pmrace -artifact ./bugs/0001-sync
 //	pmrace -list
 //
 // With -json the typed event stream (exec_done, seed_accepted,
 // inconsistency_found, validation_verdict, bug_confirmed, campaign_done,
 // ...) goes to stdout as JSON lines and the human summary moves to stderr.
+// -http serves live introspection (/metrics, /status, /events, /healthz,
+// /debug/pprof) while the campaign runs; -artifacts writes a replayable
+// forensic bundle per confirmed bug, and -artifact replays one.
 // Ctrl-C cancels the campaign's context: workers stop within one execution
 // and the partial results are reported.
+//
+// Exit codes: 0 — clean campaign (or successful replay/reproduction);
+// 1 — the campaign confirmed bugs (or a replay failed to reproduce);
+// 2 — usage or runtime error.
 package main
 
 import (
@@ -32,23 +41,31 @@ import (
 	"github.com/pmrace-go/pmrace/internal/site"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code: 0 clean campaign, 1 confirmed bugs,
+// 2 usage/runtime error.
+func run() int {
 	var (
-		list     = flag.Bool("list", false, "list registered targets and exit")
-		target   = flag.String("target", "pclht", "target system to fuzz")
-		execs    = flag.Int("execs", 120, "execution budget")
-		duration = flag.Duration("duration", 2*time.Minute, "wall-clock budget")
-		workers  = flag.Int("workers", 4, "concurrent fuzzing workers")
-		threads  = flag.Int("threads", 4, "driver threads per execution")
-		seed     = flag.Int64("seed", 1, "random seed")
-		mode     = flag.String("mode", "pmrace", "exploration: pmrace | delay | none")
-		noCP     = flag.Bool("no-checkpoints", false, "disable in-memory pool checkpoints")
-		eadr     = flag.Bool("eadr", false, "model battery-backed caches (stores durable at visibility)")
-		corpus   = flag.String("corpus", "", "seed-corpus directory (loaded at start, improving seeds saved back)")
-		replay   = flag.String("replay", "", "replay one saved .seed file against the target and exit")
-		jsonOut  = flag.Bool("json", false, "stream the event trace as JSONL to stdout (summary goes to stderr)")
-		progress = flag.Bool("progress", false, "render a 1 Hz status line while fuzzing")
-		verbose  = flag.Bool("v", false, "print full per-inconsistency reports")
+		list      = flag.Bool("list", false, "list registered targets and exit")
+		target    = flag.String("target", "pclht", "target system to fuzz")
+		execs     = flag.Int("execs", 120, "execution budget")
+		duration  = flag.Duration("duration", 2*time.Minute, "wall-clock budget")
+		workers   = flag.Int("workers", 4, "concurrent fuzzing workers")
+		threads   = flag.Int("threads", 4, "driver threads per execution")
+		seed      = flag.Int64("seed", 1, "random seed")
+		mode      = flag.String("mode", "pmrace", "exploration: pmrace | delay | none")
+		noCP      = flag.Bool("no-checkpoints", false, "disable in-memory pool checkpoints")
+		eadr      = flag.Bool("eadr", false, "model battery-backed caches (stores durable at visibility)")
+		corpus    = flag.String("corpus", "", "seed-corpus directory (loaded at start, improving seeds saved back)")
+		replay    = flag.String("replay", "", "replay one saved .seed file against the target and exit")
+		artifact  = flag.String("artifact", "", "replay one forensic bug bundle directory and exit (0 = reproduced)")
+		artifacts = flag.String("artifacts", "", "write a forensic bundle per confirmed bug into this directory")
+		artAll    = flag.Bool("artifacts-all", false, "with -artifacts: also bundle validated/whitelisted false positives")
+		httpAddr  = flag.String("http", "", "serve live introspection (/metrics /status /events /healthz /debug/pprof) on this address")
+		jsonOut   = flag.Bool("json", false, "stream the event trace as JSONL to stdout (summary goes to stderr)")
+		progress  = flag.Bool("progress", false, "render a 1 Hz status line while fuzzing")
+		verbose   = flag.Bool("v", false, "print full per-inconsistency reports")
 	)
 	flag.Parse()
 
@@ -57,15 +74,19 @@ func main() {
 		for _, n := range pmrace.Targets() {
 			fmt.Println("  " + n)
 		}
-		return
+		return 0
+	}
+
+	if *artifact != "" {
+		return replayArtifact(*artifact, *target)
 	}
 
 	if *replay != "" {
 		if err := replaySeed(*target, *replay, *threads); err != nil {
 			fmt.Fprintf(os.Stderr, "pmrace: replay: %v\n", err)
-			os.Exit(1)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	var explore pmrace.ExploreMode
@@ -78,7 +99,7 @@ func main() {
 		explore = pmrace.ModeNone
 	default:
 		fmt.Fprintf(os.Stderr, "pmrace: unknown mode %q\n", *mode)
-		os.Exit(2)
+		return 2
 	}
 
 	options := []pmrace.CampaignOption{
@@ -94,6 +115,18 @@ func main() {
 	}
 	if *eadr {
 		options = append(options, pmrace.WithEADR())
+	}
+	if *artifacts != "" {
+		options = append(options, pmrace.WithArtifacts(*artifacts))
+		if *artAll {
+			options = append(options, pmrace.WithAllArtifacts())
+		}
+	} else if *artAll {
+		fmt.Fprintln(os.Stderr, "pmrace: -artifacts-all requires -artifacts")
+		return 2
+	}
+	if *httpAddr != "" {
+		options = append(options, pmrace.WithHTTPAddr(*httpAddr))
 	}
 	// The human-readable stream: stdout normally, stderr when stdout
 	// carries the JSONL trace.
@@ -116,7 +149,10 @@ func main() {
 	c, err := pmrace.NewCampaign(ctx, *target, options...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmrace: %v\n", err)
-		os.Exit(1)
+		return 2
+	}
+	if addr := c.HTTPAddr(); addr != "" {
+		fmt.Fprintf(out, "introspection: http://%s/status\n", addr)
 	}
 	// Drain the event stream until the campaign closes it; sinks (-json)
 	// run independently of this loop.
@@ -125,7 +161,7 @@ func main() {
 	res, err := c.Wait()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmrace: %v\n", err)
-		os.Exit(1)
+		return 2
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintf(out, "\ninterrupted — partial results\n")
@@ -156,4 +192,9 @@ func main() {
 			fmt.Fprintln(out, core.FormatSync(j))
 		}
 	}
+
+	if len(res.Bugs) > 0 || len(res.DB.Others()) > 0 {
+		return 1
+	}
+	return 0
 }

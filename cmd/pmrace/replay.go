@@ -5,12 +5,56 @@ import (
 	"os"
 	"time"
 
+	"github.com/pmrace-go/pmrace/internal/artifact"
 	"github.com/pmrace-go/pmrace/internal/fuzz"
 	"github.com/pmrace-go/pmrace/internal/sched"
 	"github.com/pmrace-go/pmrace/internal/site"
 	"github.com/pmrace-go/pmrace/internal/targets"
 	"github.com/pmrace-go/pmrace/internal/workload"
 )
+
+// replayArtifact re-executes a forensic bug bundle and checks that the
+// reproduced finding carries the fingerprint recorded in bug.json. The
+// bundle names its own target; the -target flag only overrides a bundle
+// missing one. Exit codes: 0 reproduced, 1 not reproduced, 2 error.
+func replayArtifact(dir, fallbackTarget string) int {
+	b, err := artifact.Load(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmrace: artifact: %v\n", err)
+		return 2
+	}
+	targetName := b.Bug.Target
+	if targetName == "" {
+		targetName = fallbackTarget
+	}
+	if _, err := targets.New(targetName); err != nil {
+		fmt.Fprintf(os.Stderr, "pmrace: artifact: %v\n", err)
+		return 2
+	}
+	factory := func() targets.Target {
+		t, err := targets.New(targetName)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+	fmt.Printf("replaying artifact %s against %s\n", dir, targetName)
+	fmt.Printf("  recorded: [%s/%s] %s\n", b.Bug.Kind, b.Bug.Status, b.Bug.Fingerprint)
+	r, err := fuzz.ReplayArtifact(factory, b, 8)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmrace: artifact: %v\n", err)
+		return 2
+	}
+	if r.Reproduced {
+		fmt.Printf("  reproduced after %d execution(s) via %s\n", r.Execs, r.Strategy)
+		return 0
+	}
+	fmt.Printf("  NOT reproduced in %d execution(s); findings observed:\n", r.Execs)
+	for _, fp := range r.Found {
+		fmt.Printf("    %s\n", fp)
+	}
+	return 1
+}
 
 // replaySeed re-executes one saved seed against a target, first plainly and
 // then once per PM-aware sync-point entry, printing every inconsistency the

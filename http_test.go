@@ -1,0 +1,166 @@
+// Tests for campaign live introspection: the HTTP endpoints answer while
+// the campaign runs, and the SSE /events stream carries the same event
+// sequence the in-process sinks see.
+package pmrace_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	pmrace "github.com/pmrace-go/pmrace"
+	"github.com/pmrace-go/pmrace/internal/obs"
+)
+
+// TestCampaignHTTPIntrospection starts a campaign with WithHTTPAddr and a
+// lossless collector sink, consumes the SSE /events stream to its end, and
+// asserts the stream is a contiguous suffix of the collector's sequence —
+// matched per event by the envelope's emitter sequence number — ending with
+// campaign_done. (A suffix, not the whole sequence: the campaign may emit a
+// few events before the HTTP client connects.)
+func TestCampaignHTTPIntrospection(t *testing.T) {
+	col := pmrace.NewCollector()
+	c, err := pmrace.NewCampaign(context.Background(), "pclht",
+		pmrace.WithBudget(25, time.Minute),
+		pmrace.WithWorkers(1),
+		pmrace.WithThreads(1),
+		pmrace.WithMode(pmrace.ModeNone),
+		pmrace.WithSeed(7),
+		pmrace.WithSink(col),
+		pmrace.WithHTTPAddr("127.0.0.1:0"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := c.HTTPAddr()
+	if addr == "" {
+		t.Fatal("HTTPAddr empty with WithHTTPAddr set")
+	}
+	// Drain the in-process channel so the campaign is never back-pressured.
+	go func() {
+		for range c.Events() {
+		}
+	}()
+
+	// Live endpoints answer while the campaign runs. These race with
+	// campaign completion only in the sense that a finished campaign still
+	// serves until Close — but Close happens after Wait below, and we have
+	// not waited yet.
+	base := "http://" + addr
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok\n" {
+		t.Fatalf("/healthz = %q", body)
+	}
+
+	resp, err = http.Get(base + "/status")
+	if err != nil {
+		t.Fatalf("GET /status: %v", err)
+	}
+	var st pmrace.Stats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/status decode: %v", err)
+	}
+	if st.Target != "pclht" {
+		t.Fatalf("/status target = %q", st.Target)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "# TYPE pmrace_fuzz_execs_total counter") {
+		t.Fatalf("/metrics missing exec counter:\n%s", metrics)
+	}
+
+	// Stream /events to EOF; the campaign closing its emitter ends the
+	// stream.
+	resp, err = http.Get(base + "/events")
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	defer resp.Body.Close()
+	type frame struct {
+		Kind string          `json:"kind"`
+		Seq  uint64          `json:"seq"`
+		Data json.RawMessage `json:"data"`
+	}
+	var frames []frame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var f frame
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
+			t.Fatalf("bad SSE data line %q: %v", line, err)
+		}
+		frames = append(frames, f)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(frames) == 0 {
+		t.Fatal("SSE stream delivered no events")
+	}
+	if frames[len(frames)-1].Kind != string(pmrace.KindCampaignDone) {
+		t.Fatalf("last SSE event = %q, want campaign_done", frames[len(frames)-1].Kind)
+	}
+
+	// Index the lossless collector sequence by emitter seq, then check the
+	// streamed frames are exactly the collector events from the first
+	// streamed seq onward.
+	evs := col.Events()
+	bySeq := make(map[uint64]pmrace.Event, len(evs))
+	for _, ev := range evs {
+		bySeq[ev.Meta().Seq] = ev
+	}
+	first := frames[0].Seq
+	want := 0
+	for _, ev := range evs {
+		if ev.Meta().Seq >= first {
+			want++
+		}
+	}
+	if len(frames) != want {
+		t.Fatalf("SSE delivered %d events from seq %d, collector has %d", len(frames), first, want)
+	}
+	prev := uint64(0)
+	for i, f := range frames {
+		if f.Seq <= prev {
+			t.Fatalf("frame %d: seq %d not increasing after %d", i, f.Seq, prev)
+		}
+		prev = f.Seq
+		ev, ok := bySeq[f.Seq]
+		if !ok {
+			t.Fatalf("frame %d: seq %d unknown to the collector", i, f.Seq)
+		}
+		got, err := obs.DecodeEvent(obs.Kind(f.Kind), f.Data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if gf, wf := obs.Fingerprint(got), obs.Fingerprint(ev); gf != wf {
+			t.Fatalf("frame %d (seq %d): streamed %q, collector %q", i, f.Seq, gf, wf)
+		}
+	}
+}

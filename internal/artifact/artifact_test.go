@@ -1,0 +1,214 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/site"
+	"github.com/pmrace-go/pmrace/internal/taint"
+)
+
+// testInconsistency builds a synthetic inter-thread inconsistency with
+// named (stable) sites.
+func testInconsistency(t *testing.T) *core.Inconsistency {
+	t.Helper()
+	wr := site.Named("writer.go")
+	rd := site.Named("reader.go")
+	st := site.Named("store.go")
+	ev := taint.Event{
+		Addr: 0x40, Epoch: 3,
+		WriteSite: uint32(wr), ReadSite: uint32(rd),
+		Writer: 1, Reader: 2,
+	}
+	return &core.Inconsistency{
+		Kind:      core.KindInter,
+		Event:     ev,
+		StoreSite: st,
+		Flow:      core.FlowAddress,
+		Stack:     []string{"store.go:0 doPut"},
+		Lineage:   []taint.Event{ev},
+		Count:     2,
+	}
+}
+
+func testBundle(t *testing.T) *Bundle {
+	t.Helper()
+	in := testInconsistency(t)
+	rep := FromInconsistency("pclht", 4, in, core.StatusBug,
+		Validation{Latency: 1500 * time.Microsecond, RecoveryHung: true})
+	return &Bundle{
+		Bug:  rep,
+		Seed: "0 put 1 10\n1 get 1",
+		Schedule: Schedule{
+			Mode: "pmaware", Addr: 0x40, Priority: 9, Skip: 1,
+			LoadSites: []string{"reader.go:0"}, CondWaits: 2, Signalled: true,
+		},
+		Trace: []TraceEntry{
+			{Seq: 1, Thread: 1, Kind: "store", Addr: 0x40, Site: "writer.go:0"},
+			{Seq: 2, Thread: 2, Kind: "load", Addr: 0x40, Site: "reader.go:0"},
+		},
+		PMDiff: []DirtyWord{
+			{Addr: 0x40, Cache: 7, Persisted: 0, Writer: 1, Site: "writer.go:0", Epoch: 3},
+		},
+	}
+}
+
+func TestFingerprintsUseResolvedSites(t *testing.T) {
+	in := testInconsistency(t)
+	fp := FingerprintInconsistency(in)
+	want := "inter|writer.go:0->reader.go:0=>store.go:0|address"
+	if fp != want {
+		t.Fatalf("FingerprintInconsistency = %q, want %q", fp, want)
+	}
+
+	si := &core.SyncInconsistency{
+		Var:  core.SyncVar{Name: "bucket-lock"},
+		Site: site.Named("lock.go"),
+	}
+	if fp := FingerprintSync(si); fp != "sync|bucket-lock@lock.go:0" {
+		t.Fatalf("FingerprintSync = %q", fp)
+	}
+}
+
+func TestFromInconsistencyReport(t *testing.T) {
+	in := testInconsistency(t)
+	rep := FromInconsistency("pclht", 4, in, core.StatusBug,
+		Validation{Latency: 1500 * time.Microsecond, RecoveryHung: true})
+	if rep.Schema != SchemaVersion || rep.Kind != "inter" || rep.Status != "bug" {
+		t.Fatalf("report header %+v", rep)
+	}
+	if rep.Target != "pclht" || rep.Threads != 4 {
+		t.Fatalf("report target %+v", rep)
+	}
+	if rep.WriteSite != "writer.go:0" || rep.ReadSite != "reader.go:0" || rep.StoreSite != "store.go:0" {
+		t.Fatalf("report sites %+v", rep)
+	}
+	if rep.Flow != "address" || len(rep.Lineage) != 1 || rep.Lineage[0].WriteSite != "writer.go:0" {
+		t.Fatalf("report flow/lineage %+v", rep)
+	}
+	if rep.ValidationMs != 1.5 || !rep.RecoveryHung {
+		t.Fatalf("report validation %+v", rep)
+	}
+	if !strings.Contains(rep.Summary, "store.go:0") {
+		t.Fatalf("summary lacks side-effect site: %q", rep.Summary)
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := testBundle(t)
+	dir := filepath.Join(t.TempDir(), "0001-inter")
+	if err := WriteBundle(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{BugFile, SeedFile, ScheduleFile, TraceFile, PMDiffFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("bundle missing %s: %v", f, err)
+		}
+	}
+
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The writer normalizes the seed with a trailing newline.
+	wantSeed := b.Seed + "\n"
+	if got.Seed != wantSeed {
+		t.Fatalf("seed round trip: %q, want %q", got.Seed, wantSeed)
+	}
+	if !reflect.DeepEqual(got.Bug, b.Bug) {
+		t.Fatalf("bug round trip:\n got %+v\nwant %+v", got.Bug, b.Bug)
+	}
+	if !reflect.DeepEqual(got.Schedule, b.Schedule) {
+		t.Fatalf("schedule round trip:\n got %+v\nwant %+v", got.Schedule, b.Schedule)
+	}
+	if !reflect.DeepEqual(got.Trace, b.Trace) {
+		t.Fatalf("trace round trip:\n got %+v\nwant %+v", got.Trace, b.Trace)
+	}
+	if !reflect.DeepEqual(got.PMDiff, b.PMDiff) {
+		t.Fatalf("pmdiff round trip:\n got %+v\nwant %+v", got.PMDiff, b.PMDiff)
+	}
+}
+
+func TestLoadToleratesTrimmedBundle(t *testing.T) {
+	b := testBundle(t)
+	dir := filepath.Join(t.TempDir(), "trimmed")
+	if err := WriteBundle(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{ScheduleFile, TraceFile, PMDiffFile} {
+		if err := os.Remove(filepath.Join(dir, f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatalf("trimmed bundle must load: %v", err)
+	}
+	if got.Bug.Fingerprint != b.Bug.Fingerprint {
+		t.Fatalf("fingerprint lost: %q", got.Bug.Fingerprint)
+	}
+
+	// bug.json, however, is required.
+	if err := os.Remove(filepath.Join(dir, BugFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("Load accepted a bundle without bug.json")
+	}
+}
+
+func TestLoadRejectsNewerSchema(t *testing.T) {
+	b := testBundle(t)
+	b.Bug.Schema = SchemaVersion + 1
+	dir := filepath.Join(t.TempDir(), "future")
+	if err := WriteBundle(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("Load(newer schema) err = %v, want schema error", err)
+	}
+}
+
+func TestWriterDedupAndNumbering(t *testing.T) {
+	w, err := NewWriter(filepath.Join(t.TempDir(), "bugs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBundle(t)
+	dir1, err := w.Write(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(dir1) != "0001-inter" {
+		t.Fatalf("first bundle dir = %q, want 0001-inter", dir1)
+	}
+
+	// Same fingerprint again: silently skipped.
+	dup, err := w.Write(b)
+	if err != nil || dup != "" {
+		t.Fatalf("duplicate write: dir=%q err=%v, want \"\", nil", dup, err)
+	}
+	if w.Count() != 1 {
+		t.Fatalf("Count after dup = %d, want 1", w.Count())
+	}
+
+	// A different fingerprint gets the next number.
+	b2 := testBundle(t)
+	b2.Bug.Fingerprint = "sync|lock@lock.go:0"
+	b2.Bug.Kind = "sync"
+	dir2, err := w.Write(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(dir2) != "0002-sync" {
+		t.Fatalf("second bundle dir = %q, want 0002-sync", dir2)
+	}
+	if w.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", w.Count())
+	}
+}

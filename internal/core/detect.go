@@ -119,6 +119,12 @@ type Inconsistency struct {
 	// Stack is the call stack at the side effect, for bug reports and
 	// whitelist matching.
 	Stack []string
+	// Lineage is the full taint expansion of the label that made the store
+	// a durable side effect: every dirty-read event the stored value (or
+	// address) transitively derives from. Forensic artifacts persist it so
+	// a triager can follow the data flow from the original non-persisted
+	// store to the side effect without re-running the campaign.
+	Lineage []taint.Event
 	// Trace is the tail of the PM access trace at detection time — the
 	// interleaving evidence attached to the report.
 	Trace []string
@@ -317,7 +323,8 @@ func (d *Detector) OnStore(sc StoreCheck) []*Inconsistency {
 		if pair.lab == taint.None {
 			continue
 		}
-		for _, ev := range d.labels.Events(pair.lab) {
+		lineage := d.labels.Events(pair.lab)
+		for _, ev := range lineage {
 			// Skip self-overwrite of the dependent data (external
 			// effects overwrite nothing).
 			if !sc.External && ev.Addr >= sc.Addr&^7 && ev.Addr < sc.Addr+sc.Size {
@@ -340,6 +347,7 @@ func (d *Detector) OnStore(sc StoreCheck) []*Inconsistency {
 				DirtyRange:  pmem.Range{Off: ev.Addr, Len: pmem.WordSize},
 				Flow:        pair.flow,
 				Stack:       sc.Stack,
+				Lineage:     lineage,
 				Count:       1,
 			}
 			d.mu.Lock()

@@ -20,12 +20,19 @@ import (
 type CapturedInconsistency struct {
 	In  *core.Inconsistency
 	Img []byte
+	// Trace is the structured tail of the PM access trace at detection and
+	// Dirty the pool's dirty-word diff — the forensic state artifact
+	// bundles persist (in.Trace holds the human-formatted lines).
+	Trace []rt.Access
+	Dirty []pmem.DirtyWord
 }
 
 // CapturedSync is the synchronization-variable analogue.
 type CapturedSync struct {
-	Si  *core.SyncInconsistency
-	Img []byte
+	Si    *core.SyncInconsistency
+	Img   []byte
+	Trace []rt.Access
+	Dirty []pmem.DirtyWord
 }
 
 // ExecResult is everything one execution of a seed produced.
@@ -53,6 +60,11 @@ func (r *ExecResult) InterInconsistencies() int {
 	}
 	return n
 }
+
+// maxDirtyWords bounds the PM-state diff captured per detection; a resize in
+// flight can leave thousands of dirty words, and the first few hundred are
+// evidence enough.
+const maxDirtyWords = 256
 
 // ExecOptions configure the campaign executor.
 type ExecOptions struct {
@@ -166,18 +178,22 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 		CollectStats: x.opts.CollectStats,
 		TraceDepth:   64,
 		OnInconsistency: func(e *rt.Env, in *core.Inconsistency) {
-			in.Trace = rt.FormatTrace(e.RecentAccesses(), 12)
+			accs := e.RecentAccesses()
+			in.Trace = rt.FormatTrace(accs, 12)
 			in.Input = seed.Encode()
 			img := e.Pool().CrashImageWith([]pmem.Range{in.SideEffect})
+			dirty := e.Pool().DirtyWords(maxDirtyWords)
 			mu.Lock()
-			res.Inconsistencies = append(res.Inconsistencies, CapturedInconsistency{In: in, Img: img})
+			res.Inconsistencies = append(res.Inconsistencies, CapturedInconsistency{In: in, Img: img, Trace: accs, Dirty: dirty})
 			mu.Unlock()
 		},
 		OnSync: func(e *rt.Env, si *core.SyncInconsistency) {
 			si.Input = seed.Encode()
 			img := e.Pool().CrashImageWith([]pmem.Range{{Off: si.Addr, Len: 8}})
+			accs := e.RecentAccesses()
+			dirty := e.Pool().DirtyWords(maxDirtyWords)
 			mu.Lock()
-			res.Syncs = append(res.Syncs, CapturedSync{Si: si, Img: img})
+			res.Syncs = append(res.Syncs, CapturedSync{Si: si, Img: img, Trace: accs, Dirty: dirty})
 			mu.Unlock()
 		},
 		OnHang: func(_ *rt.Env, h rt.HangReport) {

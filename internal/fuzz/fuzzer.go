@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/pmrace-go/pmrace/internal/artifact"
 	"github.com/pmrace-go/pmrace/internal/core"
 	"github.com/pmrace-go/pmrace/internal/cover"
 	"github.com/pmrace-go/pmrace/internal/obs"
@@ -93,6 +94,13 @@ type Options struct {
 	// the directory and persists coverage-improving seeds back into it
 	// (the AFL++ queue-directory workflow the paper's artifact uses).
 	CorpusDir string
+	// ArtifactDir, when set, writes a forensic bundle (bug.json, seed,
+	// schedule, PM trace and dirty-word diff) for every confirmed bug into
+	// a numbered subdirectory; `pmrace -artifact <dir>` replays bundles.
+	ArtifactDir string
+	// ArtifactAll extends artifact writing to every deduplicated
+	// inconsistency, including validated and whitelisted false positives.
+	ArtifactAll bool
 	// Sched tunes the PM-aware scheduling algorithm.
 	Sched sched.Config
 }
@@ -174,6 +182,7 @@ type Fuzzer struct {
 	opts       Options
 	exec       *Executor
 	whitelist  *core.Whitelist
+	artifacts  *artifact.Writer
 
 	// ctx stops workers between executions when cancelled; set by
 	// RunContext for the run's duration.
@@ -298,6 +307,13 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 	f.start = time.Now()
 	f.mu.Unlock()
 	f.em.Emit(&obs.PhaseChange{Phase: "fuzzing", Prev: "init"})
+	if f.opts.ArtifactDir != "" && f.artifacts == nil {
+		w, err := artifact.NewWriter(f.opts.ArtifactDir)
+		if err != nil {
+			return nil, err
+		}
+		f.artifacts = w
+	}
 	gen := workload.NewGenerator(f.opts.Seed, f.opts.KeySpace, f.opts.Threads)
 	// The initial corpus combines a random mixed-operation seed, a
 	// populate-heavy seed (the load phase with many insertions triggers
@@ -509,8 +525,8 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 	// Post-failure stage: judge each newly discovered inconsistency.
 	vopts := validate.Options{HangTimeout: f.opts.HangTimeout, Whitelist: f.whitelist, Obs: f.em}
 	type judgement struct {
-		j  *core.JudgedInconsistency
-		st core.Status
+		j *core.JudgedInconsistency
+		r validate.Result
 	}
 	f.mu.Lock()
 	var toValidate []CapturedInconsistency
@@ -537,12 +553,12 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 	var judged []judgement
 	for i, cap := range toValidate {
 		r := validate.Inconsistency(f.factory, cap.Img, cap.In, vopts)
-		judged = append(judged, judgement{newJ[i], r.Status})
+		judged = append(judged, judgement{newJ[i], r})
 	}
-	var syncJudged []core.Status
+	var syncJudged []validate.Result
 	for _, cap := range syncToValidate {
 		r := validate.Sync(f.factory, cap.Img, cap.Si, vopts)
-		syncJudged = append(syncJudged, r.Status)
+		syncJudged = append(syncJudged, r)
 	}
 
 	// Validation rebuilds pools from the images (copying them), and
@@ -556,10 +572,48 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 	}
 
 	for _, jj := range judged {
-		f.db.Judge(jj.j, jj.st)
+		f.db.Judge(jj.j, jj.r.Status)
 	}
-	for i, st := range syncJudged {
-		f.db.JudgeSync(newSyncJ[i], st)
+	for i, r := range syncJudged {
+		f.db.JudgeSync(newSyncJ[i], r.Status)
+	}
+
+	// Forensic artifact bundles: every confirmed bug (every judged finding
+	// with ArtifactAll) becomes a self-contained replayable directory.
+	if f.artifacts != nil {
+		sd := describeStrategy(strat)
+		for i, jj := range judged {
+			if jj.r.Status != core.StatusBug && !f.opts.ArtifactAll {
+				continue
+			}
+			cap := toValidate[i]
+			if _, err := f.artifacts.Write(&artifact.Bundle{
+				Bug: artifact.FromInconsistency(f.targetName, f.opts.Threads, cap.In, jj.r.Status,
+					artifact.Validation{Latency: jj.r.Latency, RecoveryHung: jj.r.RecoveryHung}),
+				Seed:     seed.Encode(),
+				Schedule: sd,
+				Trace:    artifact.ConvertTrace(cap.Trace),
+				PMDiff:   artifact.ConvertDirty(cap.Dirty),
+			}); err != nil {
+				return false, err
+			}
+		}
+		for i, r := range syncJudged {
+			if r.Status != core.StatusBug && !f.opts.ArtifactAll {
+				continue
+			}
+			cap := syncToValidate[i]
+			if _, err := f.artifacts.Write(&artifact.Bundle{
+				Bug: artifact.FromSync(f.targetName, f.opts.Threads, cap.Si, r.Status,
+					artifact.Validation{Latency: r.Latency, RecoveryHung: r.RecoveryHung}),
+				Seed:     seed.Encode(),
+				Schedule: sd,
+				Trace:    artifact.ConvertTrace(cap.Trace),
+				PMDiff:   artifact.ConvertDirty(cap.Dirty),
+			}); err != nil {
+				return false, err
+			}
+		}
 	}
 
 	f.mu.Lock()

@@ -27,6 +27,7 @@ type Emitter struct {
 	mu     sync.Mutex
 	sinks  []Sink
 	ch     chan Event
+	extras []chan Event
 	closed bool
 }
 
@@ -78,7 +79,53 @@ func (e *Emitter) Subscribe(buf int) <-chan Event {
 	return e.ch
 }
 
-// Emit stamps ev and delivers it to all sinks and the subscriber channel.
+// SubscribeExtra returns an additional, independent subscriber channel with
+// the same ring-buffer shedding as Subscribe (256 when buf <= 0). Unlike
+// Subscribe — which always hands back the one campaign channel — every call
+// creates a fresh channel that receives its own copy of each event, so
+// transient consumers (an SSE stream per HTTP client) never steal events
+// from Campaign.Events. The returned cancel func detaches and closes the
+// channel; it is idempotent and safe to call after Close.
+func (e *Emitter) SubscribeExtra(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 256
+	}
+	ch := make(chan Event, buf)
+	if e == nil {
+		close(ch)
+		return ch, func() {}
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	e.extras = append(e.extras, ch)
+	e.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			e.mu.Lock()
+			closed := e.closed
+			for i, c := range e.extras {
+				if c == ch {
+					e.extras = append(e.extras[:i], e.extras[i+1:]...)
+					break
+				}
+			}
+			e.mu.Unlock()
+			if !closed {
+				// Close already closed every extra channel; closing
+				// again here would panic.
+				close(ch)
+			}
+		})
+	}
+	return ch, cancel
+}
+
+// Emit stamps ev and delivers it to all sinks and the subscriber channels.
 func (e *Emitter) Emit(ev Event) {
 	if e == nil {
 		return
@@ -95,24 +142,31 @@ func (e *Emitter) Emit(ev Event) {
 	for _, s := range e.sinks {
 		s.Emit(ev)
 	}
-	if e.ch == nil {
-		return
+	if e.ch != nil {
+		e.sendRing(e.ch, ev)
 	}
-	// Channel delivery never blocks: both the send and the ring-buffer
-	// eviction are non-blocking, so holding the mutex here is safe.
+	for _, ch := range e.extras {
+		e.sendRing(ch, ev)
+	}
+}
+
+// sendRing delivers ev to a bounded subscriber channel without ever
+// blocking: both the send and the ring-buffer eviction are non-blocking, so
+// holding the emitter mutex around it is safe.
+func (e *Emitter) sendRing(ch chan Event, ev Event) {
 	select {
-	case e.ch <- ev:
+	case ch <- ev:
 	default:
 		// Shed the oldest buffered event to make room. The receive
 		// races with the consumer; losing that race just means the
 		// consumer caught up and the retried send finds capacity.
 		select {
-		case <-e.ch:
+		case <-ch:
 			e.dropped.Inc()
 		default:
 		}
 		select {
-		case e.ch <- ev:
+		case ch <- ev:
 		default:
 			e.dropped.Inc()
 		}
@@ -134,6 +188,10 @@ func (e *Emitter) Close() error {
 	if e.ch != nil {
 		close(e.ch)
 	}
+	for _, ch := range e.extras {
+		close(ch)
+	}
+	e.extras = nil
 	sinks := e.sinks
 	e.sinks = nil
 	e.mu.Unlock()

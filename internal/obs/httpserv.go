@@ -1,0 +1,172 @@
+// Live introspection server for long campaigns. A campaign run with an HTTP
+// address exposes:
+//
+//	/healthz      liveness probe ("ok")
+//	/status       the campaign Snapshot as JSON
+//	/metrics      Prometheus text exposition of the obs registry
+//	/events       the event stream as Server-Sent Events
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// Each /events client gets its own SubscribeExtra channel, so any number of
+// observers can stream without stealing events from the in-process
+// Campaign.Events channel or from each other.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server serves the live-introspection endpoints of one campaign.
+type Server struct {
+	em     *Emitter
+	status func() any
+
+	srv    *http.Server
+	ln     net.Listener
+	cancel context.CancelFunc
+}
+
+// NewServer builds the server. status supplies the /status document (the
+// campaign snapshot); when nil, /status answers 404.
+func NewServer(em *Emitter, status func() any) *Server {
+	s := &Server{em: em, status: status}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.srv = &http.Server{
+		Handler:     mux,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	return s
+}
+
+// Start binds addr (":0" picks a free port) and serves in the background,
+// returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: introspection listen on %s: %w", addr, err)
+	}
+	s.ln = ln
+	go s.srv.Serve(ln) //nolint:errcheck // always ErrServerClosed after Close
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server. Cancelling the base context first terminates open
+// SSE streams, so the graceful shutdown below does not wait on them.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	s.cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	if s.status == nil {
+		http.NotFound(w, nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.status()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WritePrometheus(w, s.em.Registry()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleEvents streams the campaign event feed as SSE. Each event becomes
+// one frame: `event:` carries the kind, `id:` the emitter sequence number,
+// and `data:` the same envelope JSONLSink writes per line. The stream ends
+// when the emitter closes (campaign done), the client disconnects, or the
+// server shuts down.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch, unsub := s.em.SubscribeExtra(1024)
+	defer unsub()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for {
+		// Prefer draining buffered events over cancellation: the campaign
+		// closes the emitter and then the server back to back, and the
+		// terminal events (campaign_done) must not lose that race. A
+		// disconnected client ends the loop through the write error below.
+		var ev Event
+		var ok bool
+		select {
+		case ev, ok = <-ch:
+		default:
+			select {
+			case ev, ok = <-ch:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if !ok {
+			return
+		}
+		m := ev.Meta()
+		data, err := json.Marshal(jsonlEnvelope{
+			Kind: ev.Kind(),
+			Seq:  m.Seq,
+			AtMs: float64(m.At.Microseconds()) / 1e3,
+			Data: ev,
+		})
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Kind(), m.Seq, data); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+}

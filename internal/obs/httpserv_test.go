@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// allKindsEvents returns one event of every kind, ending with the terminal
+// CampaignDone, mirroring a miniature campaign.
+func allKindsEvents() []Event {
+	return []Event{
+		&PhaseChange{Phase: "fuzzing", Prev: "init"},
+		&SeedAccepted{Origin: "initial", Ops: 10, CorpusSize: 1},
+		&ExecDone{Exec: 1, Worker: 0, NewBits: 3, BranchCov: 3, AliasCov: 1, Candidates: 2, Duration: time.Millisecond},
+		&InterleavingScheduled{Worker: 0, Addr: 0x40, Priority: 7, Skip: 1},
+		&InconsistencyFound{Class: "inter", WriteSite: "a.go:1", ReadSite: "b.go:2", StoreSite: "c.go:3", Flow: "value"},
+		&ValidationVerdict{Class: "inter", Status: "bug", Latency: time.Millisecond},
+		&BugConfirmed{Class: "inter", Site: "a.go:1", Summary: "dirty read"},
+		&CampaignDone{Stats: Stats{Target: "t", Mode: "pmrace", Execs: 1, Seeds: 1, Bugs: 1}},
+	}
+}
+
+func TestSubscribeExtraIndependence(t *testing.T) {
+	em := NewEmitter()
+	main := em.Subscribe(64)
+	ex1, cancel1 := em.SubscribeExtra(64)
+	ex2, cancel2 := em.SubscribeExtra(64)
+	defer cancel2()
+
+	events := allKindsEvents()
+	for _, ev := range events {
+		em.Emit(ev)
+	}
+
+	want := make([]string, len(events))
+	for i, ev := range events {
+		want[i] = Fingerprint(ev)
+	}
+	check := func(name string, ch <-chan Event) {
+		t.Helper()
+		for i, w := range want {
+			select {
+			case ev := <-ch:
+				if got := Fingerprint(ev); got != w {
+					t.Fatalf("%s event %d: got %q, want %q", name, i, got, w)
+				}
+			default:
+				t.Fatalf("%s: missing event %d", name, i)
+			}
+		}
+		select {
+		case ev := <-ch:
+			t.Fatalf("%s: unexpected extra event %q", name, Fingerprint(ev))
+		default:
+		}
+	}
+	check("main", main)
+	check("extra1", ex1)
+	check("extra2", ex2)
+
+	// Cancelling detaches and closes the channel; later emits skip it.
+	cancel1()
+	if _, ok := <-ex1; ok {
+		t.Fatal("cancelled extra channel not closed")
+	}
+	em.Emit(&PhaseChange{Phase: "done", Prev: "fuzzing"})
+	select {
+	case ev := <-ex2:
+		if got := Fingerprint(ev); got != "phase_change done<-fuzzing" {
+			t.Fatalf("extra2 after cancel1: got %q", got)
+		}
+	default:
+		t.Fatal("extra2 missed event emitted after cancel1")
+	}
+
+	// Close closes every remaining extra; cancel afterwards must not panic.
+	if err := em.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for ev := range ex2 {
+		_ = ev // drain the buffered event, then the close
+	}
+	cancel2()
+	cancel1()
+}
+
+func TestSubscribeExtraAfterClose(t *testing.T) {
+	em := NewEmitter()
+	if err := em.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := em.SubscribeExtra(8)
+	if _, ok := <-ch; ok {
+		t.Fatal("SubscribeExtra after Close returned an open channel")
+	}
+	cancel()
+}
+
+func newTestServer(t *testing.T, em *Emitter, status func() any) *Server {
+	t.Helper()
+	s := NewServer(em, status)
+	if _, err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestServerBasicEndpoints(t *testing.T) {
+	em := NewEmitter()
+	defer em.Close()
+	em.Registry().Counter(MExecs).Add(9)
+	s := newTestServer(t, em, func() any {
+		return Stats{Target: "pclht", Mode: "pmrace", Execs: 9}
+	})
+	base := "http://" + s.Addr()
+
+	get := func(path string) (string, *http.Response) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, body %q", path, resp.StatusCode, body)
+		}
+		return string(body), resp
+	}
+
+	if body, _ := get("/healthz"); body != "ok\n" {
+		t.Fatalf("/healthz body = %q", body)
+	}
+
+	body, resp := get("/status")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/status Content-Type = %q", ct)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if st.Target != "pclht" || st.Execs != 9 {
+		t.Fatalf("/status decoded %+v", st)
+	}
+
+	body, resp = get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	samples, _ := parsePrometheus(t, body)
+	found := false
+	for _, s := range samples {
+		if s.name == "pmrace_fuzz_execs_total" && s.value == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/metrics missing pmrace_fuzz_execs_total 9:\n%s", body)
+	}
+
+	if resp, err := http.Get(base + "/debug/pprof/cmdline"); err != nil {
+		t.Fatalf("pprof: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof status %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestServerStatusNil(t *testing.T) {
+	em := NewEmitter()
+	defer em.Close()
+	s := newTestServer(t, em, nil)
+	resp, err := http.Get("http://" + s.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/status with nil supplier: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// sseFrame is one parsed Server-Sent-Events frame.
+type sseFrame struct {
+	event string
+	id    string
+	data  string
+}
+
+func readSSE(t *testing.T, r io.Reader) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur != (sseFrame{}) {
+				frames = append(frames, cur)
+				cur = sseFrame{}
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return frames
+}
+
+// TestServerSSEFullEquality connects an /events client before any event is
+// emitted (response headers received implies the SubscribeExtra registration
+// happened), emits one event of every kind, closes the emitter, and checks
+// the decoded SSE stream equals the in-process sequence event for event.
+func TestServerSSEFullEquality(t *testing.T) {
+	em := NewEmitter()
+	s := newTestServer(t, em, nil)
+
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/events Content-Type = %q", ct)
+	}
+
+	events := allKindsEvents()
+	for _, ev := range events {
+		em.Emit(ev)
+	}
+	em.Close() // ends the extra channel, so the stream reaches EOF
+
+	frames := readSSE(t, resp.Body)
+	if len(frames) != len(events) {
+		t.Fatalf("got %d SSE frames, want %d", len(frames), len(events))
+	}
+	for i, fr := range frames {
+		want := events[i]
+		m := want.Meta()
+		if fr.event != string(want.Kind()) {
+			t.Errorf("frame %d: event field %q, want %q", i, fr.event, want.Kind())
+		}
+		if fr.id != fmt.Sprintf("%d", m.Seq) {
+			t.Errorf("frame %d: id field %q, want %d", i, fr.id, m.Seq)
+		}
+		var env struct {
+			Kind Kind            `json:"kind"`
+			Seq  uint64          `json:"seq"`
+			AtMs float64         `json:"at_ms"`
+			Data json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal([]byte(fr.data), &env); err != nil {
+			t.Fatalf("frame %d: data not JSON: %v\n%s", i, err, fr.data)
+		}
+		if env.Kind != want.Kind() || env.Seq != m.Seq {
+			t.Errorf("frame %d: envelope kind=%q seq=%d, want kind=%q seq=%d",
+				i, env.Kind, env.Seq, want.Kind(), m.Seq)
+		}
+		got, err := DecodeEvent(env.Kind, env.Data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if gf, wf := Fingerprint(got), Fingerprint(want); gf != wf {
+			t.Errorf("frame %d: decoded fingerprint %q, want %q", i, gf, wf)
+		}
+	}
+}
+
+func TestDecodeEventUnknownKind(t *testing.T) {
+	if _, err := DecodeEvent(Kind("nope"), []byte(`{}`)); err == nil {
+		t.Fatal("DecodeEvent accepted unknown kind")
+	}
+}

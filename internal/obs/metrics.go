@@ -97,6 +97,21 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sum.Add(int64(d))
 }
 
+// Buckets returns a copy of the raw per-bucket counts plus the total count
+// and sum in nanoseconds. Bucket i holds observations with
+// ceil(log2(microseconds)) == i, i.e. durations below 2^i µs (the last
+// bucket also absorbs overflow); the Prometheus renderer turns these into
+// cumulative le-bounds.
+func (h *Histogram) Buckets() (counts [histBuckets]int64, count, sumNs int64) {
+	if h == nil {
+		return
+	}
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return counts, h.count.Load(), h.sum.Load()
+}
+
 // HistStat is a histogram snapshot.
 type HistStat struct {
 	Count int64         `json:"count"`

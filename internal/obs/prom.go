@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promPrefix namespaces every exported metric so pmrace series never collide
+// with other jobs scraped into the same Prometheus.
+const promPrefix = "pmrace_"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per family followed by its
+// samples, families sorted by name so output is deterministic. Counters and
+// gauges keep their registry names (counters already carry the `_total`
+// convention); histograms are exported in base seconds as `<name>_seconds`
+// with cumulative `_bucket` samples at the power-of-two microsecond bounds,
+// plus `_sum` and `_count`. A nil registry renders nothing.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+
+	type family struct {
+		name   string // fully prefixed, sanitized family name
+		typ    string
+		render func(io.Writer, string) error
+	}
+	var fams []family
+
+	for name, v := range snap.Counters {
+		v := v
+		fams = append(fams, family{
+			name: promPrefix + sanitizeMetricName(name),
+			typ:  "counter",
+			render: func(w io.Writer, fam string) error {
+				_, err := fmt.Fprintf(w, "%s %d\n", fam, v)
+				return err
+			},
+		})
+	}
+	for name, v := range snap.Gauges {
+		v := v
+		fams = append(fams, family{
+			name: promPrefix + sanitizeMetricName(name),
+			typ:  "gauge",
+			render: func(w io.Writer, fam string) error {
+				_, err := fmt.Fprintf(w, "%s %d\n", fam, v)
+				return err
+			},
+		})
+	}
+	for name := range snap.Histograms {
+		counts, count, sumNs := r.Histogram(name).Buckets()
+		fams = append(fams, family{
+			name: promPrefix + sanitizeMetricName(name) + "_seconds",
+			typ:  "histogram",
+			render: func(w io.Writer, fam string) error {
+				return renderHistogram(w, fam, counts, count, sumNs)
+			},
+		})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		if err := f.render(w, f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderHistogram writes the cumulative bucket series. Registry bucket i
+// holds durations below 2^i microseconds, so its le-bound is 2^i µs
+// expressed in seconds; the clamped overflow bucket has no finite bound and
+// only surfaces in +Inf.
+func renderHistogram(w io.Writer, fam string, counts [histBuckets]int64, count, sumNs int64) error {
+	var cum int64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += counts[i]
+		le := strconv.FormatFloat(float64(uint64(1)<<uint(i))/1e6, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", fam, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", fam, count); err != nil {
+		return err
+	}
+	sum := strconv.FormatFloat(float64(sumNs)/1e9, 'g', -1, 64)
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", fam, sum, fam, count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], replacing every other rune with '_' and prefixing
+// an underscore when the first rune is a digit.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"exec_latency":   "exec_latency",
+		"weird-name.x":   "weird_name_x",
+		"9lives":         "_9lives",
+		"a:b":            "a:b",
+		"CamelCase_ok":   "CamelCase_ok",
+		"with space/sep": "with_space_sep",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusCountersGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MBugs).Add(3)
+	r.Gauge(MBranchCov).Set(17)
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE pmrace_cover_branch_bits gauge\n" +
+		"pmrace_cover_branch_bits 17\n" +
+		"# TYPE pmrace_detect_bugs_total counter\n" +
+		"pmrace_detect_bugs_total 3\n"
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n got: %q\nwant: %q", b.String(), want)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, nil); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry: err=%v out=%q", err, b.String())
+	}
+}
+
+// promSample is one parsed non-comment exposition line.
+type promSample struct {
+	name  string
+	le    string // histogram bucket label, "" otherwise
+	value float64
+}
+
+// parsePrometheus is a minimal text-format parser: it checks every line is
+// `name[{le="v"}] value` with a numeric value, that every sample belongs to
+// a family declared by a preceding # TYPE line, and returns the samples.
+func parsePrometheus(t *testing.T, text string) (samples []promSample, types map[string]string) {
+	t.Helper()
+	types = make(map[string]string)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		var s promSample
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			label := name[i:]
+			s.name = name[:i]
+			if !strings.HasPrefix(label, `{le="`) || !strings.HasSuffix(label, `"}`) {
+				t.Fatalf("unexpected label set %q", label)
+			}
+			s.le = label[len(`{le="`) : len(label)-len(`"}`)]
+		} else {
+			s.name = name
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		s.value = v
+		// Every sample must belong to a declared family: its name or,
+		// for histogram series, the name minus the suffix.
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if _, ok := types[base]; !ok && strings.HasSuffix(base, suf) {
+				base = strings.TrimSuffix(base, suf)
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("sample %q has no # TYPE declaration", s.name)
+		}
+		samples = append(samples, s)
+	}
+	return samples, types
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(HExecLatency)
+	for _, d := range []time.Duration{
+		500 * time.Nanosecond, // bucket 0 (sub-microsecond)
+		time.Microsecond,      // bucket 1
+		3 * time.Microsecond,  // bucket 2
+		5 * time.Second,       // mid-range
+		5000 * time.Second,    // overflow: only visible in +Inf
+	} {
+		h.Observe(d)
+	}
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parsePrometheus(t, b.String())
+	if types["pmrace_exec_latency_seconds"] != "histogram" {
+		t.Fatalf("family type = %q, want histogram (types: %v)", types["pmrace_exec_latency_seconds"], types)
+	}
+
+	var les []float64
+	var cum []float64
+	var sum, count float64
+	for _, s := range samples {
+		switch s.name {
+		case "pmrace_exec_latency_seconds_bucket":
+			if s.le == "+Inf" {
+				les = append(les, 1e308)
+			} else {
+				le, err := strconv.ParseFloat(s.le, 64)
+				if err != nil {
+					t.Fatalf("bucket le %q: %v", s.le, err)
+				}
+				les = append(les, le)
+			}
+			cum = append(cum, s.value)
+		case "pmrace_exec_latency_seconds_sum":
+			sum = s.value
+		case "pmrace_exec_latency_seconds_count":
+			count = s.value
+		}
+	}
+	if len(les) != histBuckets {
+		t.Fatalf("bucket lines = %d, want %d (31 finite + +Inf)", len(les), histBuckets)
+	}
+	if !sort.Float64sAreSorted(les) {
+		t.Fatalf("le bounds not increasing: %v", les)
+	}
+	if les[0] != 1e-6 {
+		t.Fatalf("first le = %v, want 1e-06", les[0])
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts decrease at %d: %v", i, cum)
+		}
+	}
+	if count != 5 || cum[len(cum)-1] != 5 {
+		t.Fatalf("count = %v, +Inf = %v, want 5", count, cum[len(cum)-1])
+	}
+	// The finite buckets hold only the four in-range observations; the
+	// 5000s overflow appears in +Inf alone.
+	if cum[len(cum)-2] != 4 {
+		t.Fatalf("last finite bucket = %v, want 4", cum[len(cum)-2])
+	}
+	wantSum := 5005.000004 + 500e-9
+	if diff := sum - wantSum; diff < -1e-6 || diff > 1e-6 {
+		t.Fatalf("sum = %v, want ~%v", sum, wantSum)
+	}
+}
+
+func TestWritePrometheusSortedAcrossKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MExecs).Inc()
+	r.Counter(MBugs).Inc()
+	r.Gauge(MAliasCov).Set(1)
+	r.Histogram(HValidationLatency).Observe(time.Millisecond)
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	var fams []string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fams = append(fams, strings.Fields(line)[2])
+		}
+	}
+	if !sort.StringsAreSorted(fams) {
+		t.Fatalf("families not sorted: %v", fams)
+	}
+	// Rendering twice produces identical output (deterministic).
+	var b2 bytes.Buffer
+	if err := WritePrometheus(&b2, r); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Fatal("exposition output not deterministic")
+	}
+}

@@ -861,6 +861,46 @@ func (p *Pool) PersistedBytes(addr Addr, n uint64) []byte {
 	return out
 }
 
+// DirtyWord is one word that is visible in the cache but not yet persisted,
+// with both images' values: the PM-state diff a crash at this moment would
+// expose. Forensic artifact bundles attach the dirty set at detection time.
+type DirtyWord struct {
+	Addr      Addr     `json:"addr"`
+	Cache     uint64   `json:"cache"`
+	Persisted uint64   `json:"persisted"`
+	Writer    ThreadID `json:"writer"`
+	Site      uint32   `json:"site"`
+	Epoch     uint32   `json:"epoch"`
+}
+
+// DirtyWords returns the dirty words of the pool in address order, capped at
+// max entries when max > 0. It takes the whole-pool guard exclusively so the
+// returned diff is a consistent cut across all stripes.
+func (p *Pool) DirtyWords(max int) []DirtyWord {
+	p.guard.Lock()
+	defer p.guard.Unlock()
+	var out []DirtyWord
+	for w := range p.meta {
+		m := &p.meta[w]
+		if !m.Dirty {
+			continue
+		}
+		a := Addr(w) * WordSize
+		out = append(out, DirtyWord{
+			Addr:      a,
+			Cache:     le64(p.cache[a:]),
+			Persisted: le64(p.persisted[a:]),
+			Writer:    m.Writer,
+			Site:      m.Site,
+			Epoch:     m.Epoch,
+		})
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
 func le64(b []byte) uint64 {
 	_ = b[7]
 	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |

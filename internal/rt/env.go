@@ -141,7 +141,11 @@ func (e *Env) Spawn() *Thread {
 	e.nextTID++
 	e.threadsMu.Unlock()
 	e.strat.ThreadStart(id)
-	return &Thread{ID: id, env: e, sites: site.NewCache()}
+	th := &Thread{ID: id, env: e, sites: site.NewCache()}
+	if e.trace != nil {
+		th.shard = e.trace.shardFor(id)
+	}
+	return th
 }
 
 // AnnotateSyncVar registers a persistent synchronization variable annotation

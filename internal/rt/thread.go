@@ -27,6 +27,11 @@ type Thread struct {
 	// never touch the shared registry. Single-goroutine, like the Thread.
 	sites *site.Cache
 
+	// shard is the thread's slice of the access-trace ring (nil when
+	// tracing is off), cached at Spawn so each traced hook is one direct
+	// append with no ring indirection.
+	shard *traceShard
+
 	branchPrev uint32
 }
 
@@ -63,7 +68,7 @@ func (t *Thread) load64At(addr pmem.Addr, s site.ID) (uint64, taint.Label) {
 	e := t.env
 	e.strat.BeforeLoad(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, false)
-	e.traceAccess(t.ID, AccLoad, addr, s)
+	t.traceAccess(AccLoad, addr, s)
 	val, meta, shadow, prev := e.pool.InstrLoad64(t.ID, uint32(s), addr)
 	t.aliasCover(prev, s, meta.Dirty)
 	lab := taint.Label(shadow)
@@ -88,7 +93,7 @@ func (t *Thread) LoadBytes(addr pmem.Addr, n uint64) ([]byte, taint.Label) {
 	e := t.env
 	e.strat.BeforeLoad(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, false)
-	e.traceAccess(t.ID, AccLoad, addr, s)
+	t.traceAccess(AccLoad, addr, s)
 	out, meta, waddr, dirty, rawLabels, prev := e.pool.InstrLoadBytes(t.ID, uint32(s), addr, n)
 	t.aliasCover(prev, s, dirty)
 	lab := e.labels.UnionAll(labelsOf(rawLabels))
@@ -123,7 +128,7 @@ func (t *Thread) store64At(addr pmem.Addr, val uint64, valLab, addrLab taint.Lab
 	e := t.env
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
-	e.traceAccess(t.ID, AccStore, addr, s)
+	t.traceAccess(AccStore, addr, s)
 	t.checkSideEffect(s, addr, 8, valLab, addrLab)
 	old, prev := e.pool.InstrStore64(t.ID, uint32(s), addr, val, uint32(valLab))
 	t.aliasCover(prev, s, true)
@@ -142,7 +147,7 @@ func (t *Thread) StoreBytes(addr pmem.Addr, data []byte, valLab, addrLab taint.L
 	n := uint64(len(data))
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
-	e.traceAccess(t.ID, AccStore, addr, s)
+	t.traceAccess(AccStore, addr, s)
 	t.checkSideEffect(s, addr, n, valLab, addrLab)
 	prev := e.pool.InstrStoreBytes(t.ID, uint32(s), addr, data, uint32(valLab))
 	t.aliasCover(prev, s, true)
@@ -158,7 +163,7 @@ func (t *Thread) NTStore64(addr pmem.Addr, val uint64, valLab, addrLab taint.Lab
 	e := t.env
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
-	e.traceAccess(t.ID, AccNTStore, addr, s)
+	t.traceAccess(AccNTStore, addr, s)
 	t.checkSideEffect(s, addr, 8, valLab, addrLab)
 	old, prev := e.pool.InstrNTStore64(t.ID, uint32(s), addr, val, uint32(valLab))
 	t.aliasCover(prev, s, false)
@@ -173,7 +178,7 @@ func (t *Thread) NTStoreBytes(addr pmem.Addr, data []byte, valLab, addrLab taint
 	n := uint64(len(data))
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
-	e.traceAccess(t.ID, AccNTStore, addr, s)
+	t.traceAccess(AccNTStore, addr, s)
 	t.checkSideEffect(s, addr, n, valLab, addrLab)
 	prev := e.pool.InstrNTStoreBytes(t.ID, uint32(s), addr, data, uint32(valLab))
 	t.aliasCover(prev, s, false)
@@ -192,7 +197,7 @@ func (t *Thread) cas64At(addr pmem.Addr, old, new uint64, valLab, addrLab taint.
 	e := t.env
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
-	e.traceAccess(t.ID, AccCAS, addr, s)
+	t.traceAccess(AccCAS, addr, s)
 	ok, observed, meta, shadow, prev := e.pool.InstrCAS64(t.ID, uint32(s), addr, old, new, uint32(valLab))
 	t.aliasCover(prev, s, true)
 	lab := taint.Label(shadow)
@@ -257,7 +262,7 @@ func (t *Thread) Flush(addr pmem.Addr, n uint64) {
 }
 
 func (t *Thread) flushAt(s site.ID, addr pmem.Addr, n uint64) {
-	t.env.traceAccess(t.ID, AccFlush, addr, s)
+	t.traceAccess(AccFlush, addr, s)
 	_, _, anyDirty := t.env.pool.WordDirtyRange(addr, n)
 	t.env.det.OnFlush(s, addr, anyDirty)
 	t.env.pool.Flush(t.ID, addr, n)

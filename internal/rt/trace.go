@@ -2,7 +2,9 @@ package rt
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/pmrace-go/pmrace/internal/pmem"
 	"github.com/pmrace-go/pmrace/internal/site"
@@ -54,42 +56,89 @@ func (a Access) String() string {
 	return fmt.Sprintf("#%d t%d %-7s %#x @ %s", a.Seq, a.Thread, a.Kind, a.Addr, site.Lookup(a.Site))
 }
 
-// traceRing is a fixed-capacity ring of recent PM accesses. PMRace's bug
+// traceShards is the shard count of the access-trace ring. Driver threads
+// land on shards by thread ID, so the handful of threads of one execution
+// (plus the setup thread) each own a shard and never contend on add.
+const traceShards = 16
+
+// traceShard is one thread-affine slice of the trace ring. Its mutex is
+// uncontended on the hot path — only the owning thread appends — and exists
+// so snapshot() can read a consistent shard while hooks keep running. The
+// shard caches a pointer to the ring's global sequence counter so Thread can
+// hold a direct shard pointer and the hook never touches the ring header.
+type traceShard struct {
+	mu   sync.Mutex
+	seq  *atomic.Uint64
+	buf  []Access // len is a power of two
+	mask int
+	next int
+	_    [3]uint64 // pad to a cache line so neighbouring shards don't false-share
+}
+
+// traceRing is a fixed-capacity record of recent PM accesses. PMRace's bug
 // reports attach the access history around a detection so developers can see
 // the buggy interleaving, not just its endpoints.
+//
+// The ring is sharded per thread: a global atomic sequence number preserves
+// the total order of accesses while each thread appends to its own shard, so
+// the tracing hook never re-serializes the concurrent executions the
+// lock-free pool hot path allows. snapshot() merges the shards by Seq.
 type traceRing struct {
-	mu   sync.Mutex
-	buf  []Access
-	next int
-	full bool
-	seq  uint64
+	depth  int
+	seq    atomic.Uint64
+	_      [6]uint64 // keep the hot counter off the shard array's lines
+	shards [traceShards]traceShard
 }
 
 func newTraceRing(depth int) *traceRing {
-	return &traceRing{buf: make([]Access, depth)}
-}
-
-func (r *traceRing) add(t pmem.ThreadID, k AccessKind, addr pmem.Addr, s site.ID) {
-	r.mu.Lock()
-	r.seq++
-	r.buf[r.next] = Access{Seq: r.seq, Thread: t, Kind: k, Addr: addr, Site: s}
-	r.next++
-	if r.next == len(r.buf) {
-		r.next = 0
-		r.full = true
+	cap := 1
+	for cap < depth {
+		cap <<= 1
 	}
-	r.mu.Unlock()
+	r := &traceRing{depth: depth}
+	for i := range r.shards {
+		r.shards[i].seq = &r.seq
+		r.shards[i].buf = make([]Access, cap)
+		r.shards[i].mask = cap - 1
+	}
+	return r
 }
 
-// snapshot returns the ring contents in chronological order.
+// shardFor returns the shard the given thread appends to; Spawn caches it in
+// the Thread so the per-access hook skips the modulo and ring indirection.
+func (r *traceRing) shardFor(t pmem.ThreadID) *traceShard {
+	return &r.shards[uint64(t)%traceShards]
+}
+
+func (sh *traceShard) add(t pmem.ThreadID, k AccessKind, addr pmem.Addr, s site.ID) {
+	// The ticket is drawn outside the lock: shard buffers need no internal
+	// Seq order because snapshot sorts the merged entries globally.
+	seq := sh.seq.Add(1)
+	sh.mu.Lock()
+	sh.buf[sh.next&sh.mask] = Access{Seq: seq, Thread: t, Kind: k, Addr: addr, Site: s}
+	sh.next++
+	sh.mu.Unlock()
+}
+
+// snapshot returns the most recent accesses in chronological order, merged
+// across shards by sequence number and trimmed to the configured depth (the
+// same contract as the previous single ring: "the last TraceDepth accesses").
 func (r *traceRing) snapshot() []Access {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var out []Access
-	if r.full {
-		out = append(out, r.buf[r.next:]...)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n := sh.next
+		if n > len(sh.buf) {
+			n = len(sh.buf)
+		}
+		out = append(out, sh.buf[:n]...)
+		sh.mu.Unlock()
 	}
-	out = append(out, r.buf[:r.next]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if len(out) > r.depth {
+		out = out[len(out)-r.depth:]
+	}
 	return out
 }
 
@@ -104,9 +153,11 @@ func (e *Env) RecentAccesses() []Access {
 	return e.trace.snapshot()
 }
 
-func (e *Env) traceAccess(t pmem.ThreadID, k AccessKind, addr pmem.Addr, s site.ID) {
-	if e.trace != nil {
-		e.trace.add(t, k, addr, s)
+// traceAccess appends to the thread's cached trace shard; it is a no-op when
+// tracing is disabled.
+func (t *Thread) traceAccess(k AccessKind, addr pmem.Addr, s site.ID) {
+	if sh := t.shard; sh != nil {
+		sh.add(t.ID, k, addr, s)
 	}
 }
 

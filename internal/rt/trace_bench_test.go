@@ -1,0 +1,123 @@
+package rt
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/site"
+)
+
+// legacyTraceRing is the pre-sharding trace ring (one global mutex serializing
+// every traced hook), kept here so the sharded ring is benchmarked against it
+// in the same binary and run — the only fair A/B on a noisy shared vCPU.
+type legacyTraceRing struct {
+	mu   sync.Mutex
+	buf  []Access
+	next int
+	full bool
+	seq  uint64
+}
+
+func (r *legacyTraceRing) add(t pmem.ThreadID, k AccessKind, addr pmem.Addr, s site.ID) {
+	r.mu.Lock()
+	r.seq++
+	r.buf[r.next] = Access{Seq: r.seq, Thread: t, Kind: k, Addr: addr, Site: s}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// BenchmarkTraceAddLegacyMutex measures one append through the old
+// single-mutex ring.
+func BenchmarkTraceAddLegacyMutex(b *testing.B) {
+	r := &legacyTraceRing{buf: make([]Access, 64)}
+	s := site.Named("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.add(0, AccStore, pmem.Addr(i)*8, s)
+	}
+}
+
+// BenchmarkTraceAddSharded measures one append through a thread's cached
+// shard of the sharded ring.
+func BenchmarkTraceAddSharded(b *testing.B) {
+	r := newTraceRing(64)
+	sh := r.shardFor(0)
+	s := site.Named("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.add(0, AccStore, pmem.Addr(i)*8, s)
+	}
+}
+
+// BenchmarkTraceAddLegacyMutexParallel is the contended case the sharding
+// removes: every goroutine funnels through the one mutex.
+func BenchmarkTraceAddLegacyMutexParallel(b *testing.B) {
+	r := &legacyTraceRing{buf: make([]Access, 64)}
+	s := site.Named("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			r.add(0, AccStore, pmem.Addr(i)*8, s)
+			i++
+		}
+	})
+}
+
+// BenchmarkTraceAddShardedParallel spreads the same load over per-goroutine
+// shards; only the global sequence ticket is shared.
+func BenchmarkTraceAddShardedParallel(b *testing.B) {
+	r := newTraceRing(64)
+	var tid atomic32
+	s := site.Named("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		t := pmem.ThreadID(tid.next())
+		sh := r.shardFor(t)
+		i := 0
+		for pb.Next() {
+			sh.add(t, AccStore, pmem.Addr(i)*8, s)
+			i++
+		}
+	})
+}
+
+// BenchmarkTraceSnapshotMerge measures the cold-path merge-by-Seq over a ring
+// populated from several shards.
+func BenchmarkTraceSnapshotMerge(b *testing.B) {
+	r := newTraceRing(64)
+	s := site.Named("bench")
+	for t := pmem.ThreadID(0); t < 4; t++ {
+		sh := r.shardFor(t)
+		for i := 0; i < 128; i++ {
+			sh.add(t, AccStore, pmem.Addr(i)*8, s)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.snapshot()) != 64 {
+			b.Fatal("bad snapshot length")
+		}
+	}
+}
+
+type atomic32 struct {
+	mu sync.Mutex
+	n  int32
+}
+
+func (a *atomic32) next() int32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.n
+	a.n++
+	return n
+}

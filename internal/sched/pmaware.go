@@ -75,8 +75,9 @@ type waiterState struct {
 // blocks too long, the sync point is disabled and the skip count reported in
 // the Outcome.
 type PMAware struct {
-	cfg   Config
-	entry *Entry
+	cfg      Config
+	entry    *Entry
+	initSkip int
 
 	m        atomic.Int32 // the condition variable of Figure 6
 	armed    atomic.Bool  // true only between BeginExec and EndExec
@@ -102,10 +103,11 @@ func NewPMAware(cfg Config, entry *Entry, skip int) *PMAware {
 		cfg = DefaultConfig()
 	}
 	p := &PMAware{
-		cfg:     cfg,
-		entry:   entry,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		threads: make(map[pmem.ThreadID]*waiterState),
+		cfg:      cfg,
+		entry:    entry,
+		initSkip: skip,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		threads:  make(map[pmem.ThreadID]*waiterState),
 	}
 	p.enabled.Store(true)
 	p.skip.Store(int32(skip))
@@ -174,6 +176,33 @@ func (p *PMAware) AfterStore(t pmem.ThreadID, addr pmem.Addr, s site.ID) {
 
 // EndExec implements Strategy.
 func (p *PMAware) EndExec() { p.armed.Store(false) }
+
+// Description captures the schedule parameters of one PMAware instance for
+// forensic bug artifacts: which sync point it targeted and with what skip.
+type Description struct {
+	Addr        pmem.Addr
+	Priority    int
+	InitialSkip int
+	LoadSites   []site.ID
+	StoreSites  []site.ID
+}
+
+// Describe returns the strategy's schedule parameters.
+func (p *PMAware) Describe() Description {
+	d := Description{InitialSkip: p.initSkip}
+	if p.entry == nil {
+		return d
+	}
+	d.Addr = p.entry.Addr
+	d.Priority = p.entry.Priority
+	for s := range p.entry.LoadSites {
+		d.LoadSites = append(d.LoadSites, s)
+	}
+	for s := range p.entry.StoreSites {
+		d.StoreSites = append(d.StoreSites, s)
+	}
+	return d
+}
 
 // Outcome returns the campaign summary used for skip bookkeeping.
 func (p *PMAware) Outcome() Outcome {

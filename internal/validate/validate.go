@@ -42,14 +42,14 @@ type Options struct {
 
 // observe emits the verdict event and updates the validation metrics.
 func (o Options) observe(class string, r Result, started time.Time) Result {
-	lat := time.Since(started)
+	r.Latency = time.Since(started)
 	o.Obs.Registry().Counter(obs.MValidations).Inc()
-	o.Obs.Registry().Histogram(obs.HValidationLatency).Observe(lat)
+	o.Obs.Registry().Histogram(obs.HValidationLatency).Observe(r.Latency)
 	o.Obs.Emit(&obs.ValidationVerdict{
 		Class:        class,
 		Status:       r.Status.String(),
 		RecoveryHung: r.RecoveryHung,
-		Latency:      lat,
+		Latency:      r.Latency,
 	})
 	return r
 }
@@ -62,6 +62,9 @@ type Result struct {
 	RecoveryHung bool
 	// RecoveryErr records a recovery failure, if any.
 	RecoveryErr error
+	// Latency is the wall time of the validation run (whitelist check,
+	// recovery execution and verdict); artifact bundles record it.
+	Latency time.Duration
 }
 
 // Inconsistency validates one inter-/intra-thread inconsistency against its

@@ -19,6 +19,7 @@ type campaignConfig struct {
 	progress         io.Writer
 	progressInterval time.Duration
 	eventBuf         int
+	httpAddr         string
 }
 
 // WithOptions replaces the whole legacy Options struct at once — the escape
@@ -127,4 +128,27 @@ func WithProgressInterval(d time.Duration) CampaignOption {
 // the lossless path.
 func WithEventBuffer(n int) CampaignOption {
 	return func(c *campaignConfig) { c.eventBuf = n }
+}
+
+// WithHTTPAddr serves live campaign introspection on addr (":0" picks a free
+// port; Campaign.HTTPAddr returns the bound address): Prometheus /metrics,
+// /status snapshots, an SSE /events stream, /healthz and /debug/pprof. The
+// server lives for the campaign's duration.
+func WithHTTPAddr(addr string) CampaignOption {
+	return func(c *campaignConfig) { c.httpAddr = addr }
+}
+
+// WithArtifacts writes a forensic bundle — bug report with taint lineage,
+// finding seed, interleaving schedule, PM access trace and dirty-word diff —
+// into a numbered subdirectory of dir for every confirmed bug. Bundles
+// replay with `pmrace -artifact <bundle>`.
+func WithArtifacts(dir string) CampaignOption {
+	return func(c *campaignConfig) { c.opts.ArtifactDir = dir }
+}
+
+// WithAllArtifacts extends WithArtifacts to every deduplicated finding,
+// including validated and whitelisted false positives — the forensic mode
+// for auditing the validator itself.
+func WithAllArtifacts() CampaignOption {
+	return func(c *campaignConfig) { c.opts.ArtifactAll = true }
 }
