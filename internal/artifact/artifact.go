@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -291,11 +292,27 @@ type Writer struct {
 }
 
 // NewWriter creates the base directory (if needed) and a writer into it.
+// Numbering resumes after the highest existing bundle, so pointing a new
+// campaign at a previous run's directory never overwrites its bundles.
 func NewWriter(dir string) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("artifact: creating %s: %w", dir, err)
 	}
-	return &Writer{dir: dir, seen: make(map[string]struct{})}, nil
+	w := &Writer{dir: dir, seen: make(map[string]struct{})}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: reading %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		num, _, _ := strings.Cut(e.Name(), "-")
+		if n, err := strconv.Atoi(num); err == nil && n > w.n {
+			w.n = n
+		}
+	}
+	return w, nil
 }
 
 // Dir returns the writer's base directory.
@@ -310,21 +327,22 @@ func (w *Writer) Count() int {
 
 // Write persists the bundle as the next numbered directory and returns its
 // path; a bundle whose fingerprint was already written returns "" with no
-// error.
+// error. The fingerprint is recorded (and the number consumed) only after
+// the bundle lands on disk, so a failed write can be retried when the bug
+// recurs. The lock is held across the disk write: bundles are rare (one per
+// distinct confirmed bug), so serializing them costs nothing measurable.
 func (w *Writer) Write(b *Bundle) (string, error) {
 	w.mu.Lock()
+	defer w.mu.Unlock()
 	if _, dup := w.seen[b.Bug.Fingerprint]; dup {
-		w.mu.Unlock()
 		return "", nil
 	}
-	w.seen[b.Bug.Fingerprint] = struct{}{}
-	w.n++
-	n := w.n
-	w.mu.Unlock()
-	dir := filepath.Join(w.dir, fmt.Sprintf("%04d-%s", n, b.Bug.Kind))
+	dir := filepath.Join(w.dir, fmt.Sprintf("%04d-%s", w.n+1, b.Bug.Kind))
 	if err := WriteBundle(dir, b); err != nil {
 		return "", err
 	}
+	w.n++
+	w.seen[b.Bug.Fingerprint] = struct{}{}
 	return dir, nil
 }
 

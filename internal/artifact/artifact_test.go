@@ -211,4 +211,55 @@ func TestWriterDedupAndNumbering(t *testing.T) {
 	if w.Count() != 2 {
 		t.Fatalf("Count = %d, want 2", w.Count())
 	}
+
+	// Reopening the same directory resumes numbering after the existing
+	// bundles instead of overwriting them.
+	w2, err := NewWriter(w.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3 := testBundle(t)
+	b3.Bug.Fingerprint = "sync|other@other.go:0"
+	b3.Bug.Kind = "sync"
+	dir3, err := w2.Write(b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(dir3) != "0003-sync" {
+		t.Fatalf("bundle dir after reopen = %q, want 0003-sync", dir3)
+	}
+}
+
+// TestWriterRetriesAfterFailedWrite pins that a failed bundle write neither
+// consumes the fingerprint nor the bundle number: when the bug recurs, the
+// bundle is written as if the failure never happened.
+func TestWriterRetriesAfterFailedWrite(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "bugs")
+	w, err := NewWriter(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A regular file where the bundle directory would go makes MkdirAll
+	// (and so Write) fail.
+	block := filepath.Join(base, "0001-inter")
+	if err := os.WriteFile(block, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := testBundle(t)
+	if _, err := w.Write(b); err == nil {
+		t.Fatal("Write over a blocking file succeeded, want error")
+	}
+	if w.Count() != 0 {
+		t.Fatalf("Count after failed write = %d, want 0", w.Count())
+	}
+	if err := os.Remove(block); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := w.Write(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(dir) != "0001-inter" {
+		t.Fatalf("retried bundle dir = %q, want 0001-inter", dir)
+	}
 }

@@ -314,6 +314,9 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 		}
 		f.artifacts = w
 	}
+	if f.opts.ArtifactAll && f.artifacts == nil {
+		return nil, fmt.Errorf("fuzz: ArtifactAll requires an artifact directory (set ArtifactDir)")
+	}
 	gen := workload.NewGenerator(f.opts.Seed, f.opts.KeySpace, f.opts.Threads)
 	// The initial corpus combines a random mixed-operation seed, a
 	// populate-heavy seed (the load phase with many insertions triggers

@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/pmrace-go/pmrace/internal/artifact"
@@ -34,6 +35,10 @@ func describeStrategy(strat sched.Strategy) artifact.Schedule {
 		for _, id := range d.StoreSites {
 			sd.StoreSites = append(sd.StoreSites, site.Lookup(id).String())
 		}
+		// Describe iterates Go maps; sort the resolved strings so identical
+		// campaigns serialize byte-identical schedule.json files.
+		sort.Strings(sd.LoadSites)
+		sort.Strings(sd.StoreSites)
 		return sd
 	case *sched.DelayInjector:
 		return artifact.Schedule{Mode: "delay"}

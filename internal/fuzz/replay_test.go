@@ -10,6 +10,26 @@ import (
 	"github.com/pmrace-go/pmrace/internal/targets"
 )
 
+// TestArtifactAllRequiresDir pins that ArtifactAll without ArtifactDir is a
+// configuration error, not a silent no-op.
+func TestArtifactAllRequiresDir(t *testing.T) {
+	fz, err := New("pclht", Options{
+		Threads:     2,
+		KeySpace:    8,
+		OpsPerSeed:  4,
+		MaxExecs:    1,
+		Duration:    time.Second,
+		Workers:     1,
+		ArtifactAll: true,
+	})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if _, err := fz.Run(); err == nil {
+		t.Fatal("Run with ArtifactAll but no ArtifactDir succeeded, want error")
+	}
+}
+
 // TestArtifactRoundTripReplay drives the full forensic pipeline: a campaign
 // with an artifact directory must write one bundle per confirmed bug, and a
 // written bundle must Load and ReplayArtifact back to the same fingerprint.

@@ -88,7 +88,13 @@ func (h *Histogram) Observe(d time.Duration) {
 		return
 	}
 	us := d.Microseconds()
-	idx := bits.Len64(uint64(us)) // 0 for <1µs, else floor(log2)+1
+	// bits.Len64(us-1) is ceil(log2(us)): exactly 2^i µs lands in bucket i,
+	// matching the inclusive le=2^i µs bound the Prometheus renderer
+	// exports for it. Non-positive durations land in bucket 0.
+	var idx int
+	if us > 0 {
+		idx = bits.Len64(uint64(us) - 1)
+	}
 	if idx >= histBuckets {
 		idx = histBuckets - 1
 	}
@@ -99,9 +105,9 @@ func (h *Histogram) Observe(d time.Duration) {
 
 // Buckets returns a copy of the raw per-bucket counts plus the total count
 // and sum in nanoseconds. Bucket i holds observations with
-// ceil(log2(microseconds)) == i, i.e. durations below 2^i µs (the last
-// bucket also absorbs overflow); the Prometheus renderer turns these into
-// cumulative le-bounds.
+// ceil(log2(microseconds)) == i, i.e. durations in (2^(i-1), 2^i] µs (the
+// last bucket also absorbs overflow); the Prometheus renderer turns these
+// into cumulative le-bounds.
 func (h *Histogram) Buckets() (counts [histBuckets]int64, count, sumNs int64) {
 	if h == nil {
 		return

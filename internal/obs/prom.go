@@ -78,9 +78,9 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 }
 
 // renderHistogram writes the cumulative bucket series. Registry bucket i
-// holds durations below 2^i microseconds, so its le-bound is 2^i µs
-// expressed in seconds; the clamped overflow bucket has no finite bound and
-// only surfaces in +Inf.
+// holds durations of at most 2^i microseconds (exclusive above 2^(i-1)), so
+// its le-bound is 2^i µs expressed in seconds; the clamped overflow bucket
+// has no finite bound and only surfaces in +Inf.
 func renderHistogram(w io.Writer, fam string, counts [histBuckets]int64, count, sumNs int64) error {
 	var cum int64
 	for i := 0; i < histBuckets-1; i++ {

@@ -116,7 +116,7 @@ func TestWritePrometheusHistogram(t *testing.T) {
 	h := r.Histogram(HExecLatency)
 	for _, d := range []time.Duration{
 		500 * time.Nanosecond, // bucket 0 (sub-microsecond)
-		time.Microsecond,      // bucket 1
+		time.Microsecond,      // bucket 0 (le="1e-06" is inclusive)
 		3 * time.Microsecond,  // bucket 2
 		5 * time.Second,       // mid-range
 		5000 * time.Second,    // overflow: only visible in +Inf
@@ -179,6 +179,24 @@ func TestWritePrometheusHistogram(t *testing.T) {
 	wantSum := 5005.000004 + 500e-9
 	if diff := sum - wantSum; diff < -1e-6 || diff > 1e-6 {
 		t.Fatalf("sum = %v, want ~%v", sum, wantSum)
+	}
+}
+
+// TestHistogramBucketInclusive pins Prometheus le-inclusivity: a duration of
+// exactly 2^i µs must count toward the le=2^i µs bucket, not the next one.
+func TestHistogramBucketInclusive(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(time.Microsecond)        // le="1e-06"
+	h.Observe(2 * time.Microsecond)    // le="2e-06"
+	h.Observe(1024 * time.Microsecond) // le="0.001024"
+	counts, count, _ := h.Buckets()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	for i, want := range map[int]int64{0: 1, 1: 1, 10: 1} {
+		if counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, counts[i], want, counts[:12])
+		}
 	}
 }
 

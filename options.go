@@ -148,7 +148,9 @@ func WithArtifacts(dir string) CampaignOption {
 
 // WithAllArtifacts extends WithArtifacts to every deduplicated finding,
 // including validated and whitelisted false positives — the forensic mode
-// for auditing the validator itself.
+// for auditing the validator itself. It requires WithArtifacts: a campaign
+// configured with WithAllArtifacts but no artifact directory fails at start
+// rather than silently dropping the bundles.
 func WithAllArtifacts() CampaignOption {
 	return func(c *campaignConfig) { c.opts.ArtifactAll = true }
 }
