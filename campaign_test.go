@@ -27,6 +27,7 @@ func TestCampaignEventStreamDeterminism(t *testing.T) {
 			pmrace.WithThreads(1),
 			pmrace.WithMode(pmrace.ModeNone),
 			pmrace.WithSeed(7),
+			pmrace.WithInlineValidation(),
 			pmrace.WithSink(col),
 		)
 		if err != nil {

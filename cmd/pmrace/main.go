@@ -66,6 +66,10 @@ func run() int {
 		jsonOut   = flag.Bool("json", false, "stream the event trace as JSONL to stdout (summary goes to stderr)")
 		progress  = flag.Bool("progress", false, "render a 1 Hz status line while fuzzing")
 		verbose   = flag.Bool("v", false, "print full per-inconsistency reports")
+
+		maxCrashStates = flag.Int("max-crash-states", 1, "crash states validated per finding (1 = the paper's single adversarial image)")
+		valWorkers     = flag.Int("validate-workers", 2, "asynchronous post-failure validation workers")
+		valWallTimeout = flag.Duration("validate-wall-timeout", 2*time.Second, "wall-clock bound per recovery run in post-failure validation")
 	)
 	flag.Parse()
 
@@ -109,6 +113,9 @@ func run() int {
 		pmrace.WithSeed(*seed),
 		pmrace.WithMode(explore),
 		pmrace.WithCorpusDir(*corpus),
+		pmrace.WithMaxCrashStates(*maxCrashStates),
+		pmrace.WithValidationWorkers(*valWorkers),
+		pmrace.WithValidationWallTimeout(*valWallTimeout),
 	}
 	if *noCP {
 		options = append(options, pmrace.WithoutCheckpoints())

@@ -102,6 +102,27 @@ type Report struct {
 	// Validation records the post-failure run that produced Status.
 	ValidationMs float64 `json:"validation_ms"`
 	RecoveryHung bool    `json:"recovery_hung,omitempty"`
+	// States is the per-crash-state verdict table (additive to schema 1;
+	// absent in single-state bundles written by older builds).
+	States []StateVerdict `json:"states,omitempty"`
+}
+
+// StateVerdict is one row of the per-crash-state verdict table: the outcome
+// of running recovery on one enumerated crash image.
+type StateVerdict struct {
+	// State names the crash state ("side-effect-persisted",
+	// "persisted-baseline", "pending-line@<offset>").
+	State string `json:"state"`
+	// Status is this state's verdict: "bug" or "validated-fp".
+	Status string `json:"status"`
+	// RecoveryHung reports a hang (spin-lock detector or watchdog).
+	RecoveryHung bool `json:"recovery_hung,omitempty"`
+	// WallTimeout reports that the wall-clock watchdog declared the hang.
+	WallTimeout bool `json:"wall_timeout,omitempty"`
+	// RecoveryErr is the recovery failure message, if any.
+	RecoveryErr string `json:"recovery_err,omitempty"`
+	// LatencyMs is this state's recovery-run wall time.
+	LatencyMs float64 `json:"latency_ms"`
 }
 
 // Schedule is the schedule.json document: the interleaving-exploration
@@ -177,6 +198,8 @@ func FingerprintSync(si *core.SyncInconsistency) string {
 type Validation struct {
 	Latency      time.Duration
 	RecoveryHung bool
+	// States is the per-crash-state verdict table, in enumeration order.
+	States []StateVerdict
 }
 
 // ConvertLineage resolves a taint-event lineage for the report.
@@ -254,6 +277,7 @@ func FromInconsistency(target string, threads int, in *core.Inconsistency, st co
 		Occurrences:  in.Count,
 		ValidationMs: float64(v.Latency.Microseconds()) / 1e3,
 		RecoveryHung: v.RecoveryHung,
+		States:       v.States,
 	}
 }
 
@@ -278,6 +302,7 @@ func FromSync(target string, threads int, si *core.SyncInconsistency, st core.St
 		Occurrences:  si.Count,
 		ValidationMs: float64(v.Latency.Microseconds()) / 1e3,
 		RecoveryHung: v.RecoveryHung,
+		States:       v.States,
 	}
 }
 

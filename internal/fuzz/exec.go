@@ -14,12 +14,14 @@ import (
 	"github.com/pmrace-go/pmrace/internal/workload"
 )
 
-// CapturedInconsistency pairs a detected inconsistency with the pool image
-// PMRace duplicated at the crash point (paper §4.4): the durable side effect
-// is force-persisted, the dependent dirty data is not.
+// CapturedInconsistency pairs a detected inconsistency with the crash states
+// enumerated at the crash point. States[0] is always the §4.4 adversarial
+// image (durable side effect force-persisted, dependent dirty data lost);
+// with multi-state validation enabled the list also carries the persisted
+// baseline and per-pending-line states (pmem.CrashStates).
 type CapturedInconsistency struct {
-	In  *core.Inconsistency
-	Img []byte
+	In     *core.Inconsistency
+	States []pmem.CrashState
 	// Trace is the structured tail of the PM access trace at detection and
 	// Dirty the pool's dirty-word diff — the forensic state artifact
 	// bundles persist (in.Trace holds the human-formatted lines).
@@ -29,10 +31,10 @@ type CapturedInconsistency struct {
 
 // CapturedSync is the synchronization-variable analogue.
 type CapturedSync struct {
-	Si    *core.SyncInconsistency
-	Img   []byte
-	Trace []rt.Access
-	Dirty []pmem.DirtyWord
+	Si     *core.SyncInconsistency
+	States []pmem.CrashState
+	Trace  []rt.Access
+	Dirty  []pmem.DirtyWord
 }
 
 // ExecResult is everything one execution of a seed produced.
@@ -83,6 +85,9 @@ type ExecOptions struct {
 	// at visibility, so inter-thread inconsistencies cannot occur while
 	// synchronization inconsistencies still can.
 	EADR bool
+	// MaxCrashStates caps the crash states enumerated per finding; values
+	// <= 1 reproduce the paper's single adversarial image.
+	MaxCrashStates int
 }
 
 // Executor runs fuzz campaign executions against one target.
@@ -108,6 +113,9 @@ type Executor struct {
 func NewExecutor(factory targets.Factory, opts ExecOptions) *Executor {
 	if opts.HangTimeout <= 0 {
 		opts.HangTimeout = 80 * time.Millisecond
+	}
+	if opts.MaxCrashStates <= 0 {
+		opts.MaxCrashStates = 1
 	}
 	return &Executor{factory: factory, opts: opts}
 }
@@ -181,19 +189,19 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 			accs := e.RecentAccesses()
 			in.Trace = rt.FormatTrace(accs, 12)
 			in.Input = seed.Encode()
-			img := e.Pool().CrashImageWith([]pmem.Range{in.SideEffect})
+			states := e.Pool().CrashStates([]pmem.Range{in.SideEffect}, x.opts.MaxCrashStates)
 			dirty := e.Pool().DirtyWords(maxDirtyWords)
 			mu.Lock()
-			res.Inconsistencies = append(res.Inconsistencies, CapturedInconsistency{In: in, Img: img, Trace: accs, Dirty: dirty})
+			res.Inconsistencies = append(res.Inconsistencies, CapturedInconsistency{In: in, States: states, Trace: accs, Dirty: dirty})
 			mu.Unlock()
 		},
 		OnSync: func(e *rt.Env, si *core.SyncInconsistency) {
 			si.Input = seed.Encode()
-			img := e.Pool().CrashImageWith([]pmem.Range{{Off: si.Addr, Len: 8}})
+			states := e.Pool().CrashStates([]pmem.Range{{Off: si.Addr, Len: 8}}, x.opts.MaxCrashStates)
 			accs := e.RecentAccesses()
 			dirty := e.Pool().DirtyWords(maxDirtyWords)
 			mu.Lock()
-			res.Syncs = append(res.Syncs, CapturedSync{Si: si, Img: img, Trace: accs, Dirty: dirty})
+			res.Syncs = append(res.Syncs, CapturedSync{Si: si, States: states, Trace: accs, Dirty: dirty})
 			mu.Unlock()
 		},
 		OnHang: func(_ *rt.Env, h rt.HangReport) {

@@ -13,6 +13,7 @@ import (
 	"github.com/pmrace-go/pmrace/internal/obs"
 	"github.com/pmrace-go/pmrace/internal/pmdk"
 	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
 	"github.com/pmrace-go/pmrace/internal/sched"
 	"github.com/pmrace-go/pmrace/internal/site"
 	"github.com/pmrace-go/pmrace/internal/targets"
@@ -101,6 +102,22 @@ type Options struct {
 	// ArtifactAll extends artifact writing to every deduplicated
 	// inconsistency, including validated and whitelisted false positives.
 	ArtifactAll bool
+	// MaxCrashStates caps the crash states enumerated and validated per
+	// finding (WITCHER-style bounded enumeration). Values <= 1 reproduce
+	// the paper's single-adversarial-image validation.
+	MaxCrashStates int
+	// ValidationWallTimeout bounds each recovery run's wall-clock time in
+	// post-failure validation; zero selects validate.DefaultWallTimeout.
+	ValidationWallTimeout time.Duration
+	// ValidationWorkers sizes the asynchronous post-failure validation
+	// pool; findings queue to it instead of stalling the fuzzing executor
+	// during recovery runs. Zero selects 2.
+	ValidationWorkers int
+	// InlineValidation validates findings synchronously on the fuzzing
+	// worker that discovered them (the pre-pool behavior). It keeps the
+	// event stream deterministic for a single-worker campaign, at the cost
+	// of stalling that worker during recovery runs.
+	InlineValidation bool
 	// Sched tunes the PM-aware scheduling algorithm.
 	Sched sched.Config
 }
@@ -135,6 +152,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RedundantThreshold <= 0 {
 		o.RedundantThreshold = 100
+	}
+	if o.MaxCrashStates <= 0 {
+		o.MaxCrashStates = 1
+	}
+	if o.ValidationWallTimeout <= 0 {
+		o.ValidationWallTimeout = validate.DefaultWallTimeout
+	}
+	if o.ValidationWorkers <= 0 {
+		o.ValidationWorkers = 2
 	}
 	if o.Sched.Poll <= 0 {
 		o.Sched = sched.DefaultConfig()
@@ -187,6 +213,14 @@ type Fuzzer struct {
 	// ctx stops workers between executions when cancelled; set by
 	// RunContext for the run's duration.
 	ctx context.Context
+
+	// valCh feeds the asynchronous post-failure validation pool; nil when
+	// InlineValidation is set. Jobs own their crash states: the validating
+	// worker recycles them only after the verdict is judged and any
+	// artifact bundle is written.
+	valCh  chan *valJob
+	valWG  sync.WaitGroup
+	valErr error // first validation-worker error; guarded by mu
 
 	// em is the observability hub; every campaign has one (sink-less by
 	// default). The handles below are its cached registry metrics.
@@ -254,6 +288,7 @@ func NewWithFactory(factory targets.Factory, opts Options) *Fuzzer {
 			UseCheckpoints: !opts.NoCheckpoints,
 			CollectStats:   true,
 			EADR:           opts.EADR,
+			MaxCrashStates: opts.MaxCrashStates,
 		}),
 		whitelist: wl,
 		cov:       cover.New(),
@@ -354,6 +389,30 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 	f.seedCount = corpusLen
 	f.mu.Unlock()
 
+	// Post-failure validation pool: findings queue here so recovery runs
+	// (each bounded by ValidationWallTimeout, and potentially multiplied by
+	// MaxCrashStates) never stall the fuzzing executors. A worker that hits
+	// a persistent error (artifact I/O) records it and keeps draining so
+	// enqueuers never block on a dead pool.
+	if !f.opts.InlineValidation {
+		f.valCh = make(chan *valJob, f.opts.ValidationWorkers*4)
+		for i := 0; i < f.opts.ValidationWorkers; i++ {
+			f.valWG.Add(1)
+			go func() {
+				defer f.valWG.Done()
+				for job := range f.valCh {
+					if err := f.validateJob(job); err != nil {
+						f.mu.Lock()
+						if f.valErr == nil {
+							f.valErr = err
+						}
+						f.mu.Unlock()
+					}
+				}
+			}()
+		}
+	}
+
 	// Each worker owns a private seeded RNG: nothing on the hot path ever
 	// touches the locked global math/rand source, and a campaign at a given
 	// (seed, worker count) draws the same per-worker random streams even
@@ -374,10 +433,23 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 		}(w)
 	}
 	wg.Wait()
+	// Drain the validation pool before reading results: queued findings
+	// must be judged (and their artifacts written) before the campaign's
+	// bug tally is final.
+	if f.valCh != nil {
+		close(f.valCh)
+		f.valWG.Wait()
+	}
 	select {
 	case err := <-errCh:
 		return nil, err
 	default:
+	}
+	f.mu.Lock()
+	valErr := f.valErr
+	f.mu.Unlock()
+	if valErr != nil {
+		return nil, valErr
 	}
 	res := f.result()
 	f.em.Emit(&obs.PhaseChange{Phase: "done", Prev: "fuzzing"})
@@ -525,95 +597,50 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 		return false, err
 	}
 
-	// Post-failure stage: judge each newly discovered inconsistency.
-	vopts := validate.Options{HangTimeout: f.opts.HangTimeout, Whitelist: f.whitelist, Obs: f.em}
-	type judgement struct {
-		j *core.JudgedInconsistency
-		r validate.Result
-	}
+	// Post-failure stage: merge findings under the lock, then hand each
+	// *new* finding — together with ownership of its crash states — to the
+	// validation pool (or validate inline). Duplicate findings never
+	// consult their states, so those go straight back to the buffer pool;
+	// a job's states are recycled by whoever validates it, only after the
+	// verdict is judged and any artifact bundle is written.
+	var jobs []*valJob
+	var recycle [][]pmem.CrashState
 	f.mu.Lock()
-	var toValidate []CapturedInconsistency
-	var newJ []*core.JudgedInconsistency
 	for _, cap := range res.Inconsistencies {
 		j, isNew := f.db.MergeInconsistency(cap.In)
 		if isNew {
-			toValidate = append(toValidate, cap)
-			newJ = append(newJ, j)
+			// Snapshot the finding before leaving the lock: the DB
+			// keeps cap.In as the canonical record and bumps its
+			// dedup count on later duplicates, concurrently with
+			// the validation worker reading it.
+			in := *cap.In
+			jobs = append(jobs, &valJob{in: &in, j: j, states: cap.States, trace: cap.Trace, dirty: cap.Dirty})
+		} else {
+			recycle = append(recycle, cap.States)
 		}
 	}
-	var syncToValidate []CapturedSync
-	var newSyncJ []*core.JudgedSync
 	for _, cap := range res.Syncs {
 		j, isNew := f.db.MergeSync(cap.Si)
 		if isNew {
-			syncToValidate = append(syncToValidate, cap)
-			newSyncJ = append(newSyncJ, j)
+			si := *cap.Si
+			jobs = append(jobs, &valJob{si: &si, js: j, states: cap.States, trace: cap.Trace, dirty: cap.Dirty})
+		} else {
+			recycle = append(recycle, cap.States)
 		}
 	}
 	f.mu.Unlock()
-
-	// Validation runs outside the lock: it executes recovery code.
-	var judged []judgement
-	for i, cap := range toValidate {
-		r := validate.Inconsistency(f.factory, cap.Img, cap.In, vopts)
-		judged = append(judged, judgement{newJ[i], r})
+	for _, states := range recycle {
+		pmem.RecycleStates(states)
 	}
-	var syncJudged []validate.Result
-	for _, cap := range syncToValidate {
-		r := validate.Sync(f.factory, cap.Img, cap.Si, vopts)
-		syncJudged = append(syncJudged, r)
-	}
-
-	// Validation rebuilds pools from the images (copying them), and
-	// duplicate findings never consult theirs, so every captured image can
-	// go back to the buffer pool now.
-	for _, cap := range res.Inconsistencies {
-		pmem.RecycleImage(cap.Img)
-	}
-	for _, cap := range res.Syncs {
-		pmem.RecycleImage(cap.Img)
-	}
-
-	for _, jj := range judged {
-		f.db.Judge(jj.j, jj.r.Status)
-	}
-	for i, r := range syncJudged {
-		f.db.JudgeSync(newSyncJ[i], r.Status)
-	}
-
-	// Forensic artifact bundles: every confirmed bug (every judged finding
-	// with ArtifactAll) becomes a self-contained replayable directory.
-	if f.artifacts != nil {
+	if len(jobs) > 0 {
+		enc := seed.Encode()
 		sd := describeStrategy(strat)
-		for i, jj := range judged {
-			if jj.r.Status != core.StatusBug && !f.opts.ArtifactAll {
-				continue
-			}
-			cap := toValidate[i]
-			if _, err := f.artifacts.Write(&artifact.Bundle{
-				Bug: artifact.FromInconsistency(f.targetName, f.opts.Threads, cap.In, jj.r.Status,
-					artifact.Validation{Latency: jj.r.Latency, RecoveryHung: jj.r.RecoveryHung}),
-				Seed:     seed.Encode(),
-				Schedule: sd,
-				Trace:    artifact.ConvertTrace(cap.Trace),
-				PMDiff:   artifact.ConvertDirty(cap.Dirty),
-			}); err != nil {
-				return false, err
-			}
-		}
-		for i, r := range syncJudged {
-			if r.Status != core.StatusBug && !f.opts.ArtifactAll {
-				continue
-			}
-			cap := syncToValidate[i]
-			if _, err := f.artifacts.Write(&artifact.Bundle{
-				Bug: artifact.FromSync(f.targetName, f.opts.Threads, cap.Si, r.Status,
-					artifact.Validation{Latency: r.Latency, RecoveryHung: r.RecoveryHung}),
-				Seed:     seed.Encode(),
-				Schedule: sd,
-				Trace:    artifact.ConvertTrace(cap.Trace),
-				PMDiff:   artifact.ConvertDirty(cap.Dirty),
-			}); err != nil {
+		for _, job := range jobs {
+			job.seed = enc
+			job.sd = sd
+			if f.valCh != nil {
+				f.valCh <- job
+			} else if err := f.validateJob(job); err != nil {
 				return false, err
 			}
 		}
@@ -697,6 +724,83 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 		Duration:        res.Duration,
 	})
 	return newBits > 0, nil
+}
+
+// valJob is one finding queued for post-failure validation. Exactly one of
+// (in, j) or (si, js) is set. The job owns states: validateJob recycles them.
+type valJob struct {
+	in *core.Inconsistency
+	j  *core.JudgedInconsistency
+	si *core.SyncInconsistency
+	js *core.JudgedSync
+
+	states []pmem.CrashState
+	trace  []rt.Access
+	dirty  []pmem.DirtyWord
+	seed   string
+	sd     artifact.Schedule
+}
+
+// validateJob runs post-failure validation for one finding, records the
+// verdict in the result database, writes the forensic artifact bundle when
+// warranted, and finally recycles the job's crash states — the ownership
+// hand-off that keeps images out of the buffer pool while validation or
+// artifact serialization still aliases them.
+func (f *Fuzzer) validateJob(job *valJob) error {
+	defer pmem.RecycleStates(job.states)
+	vopts := validate.Options{
+		HangTimeout: f.opts.HangTimeout,
+		WallTimeout: f.opts.ValidationWallTimeout,
+		Whitelist:   f.whitelist,
+		Obs:         f.em,
+	}
+	var r validate.Result
+	if job.in != nil {
+		r = validate.Inconsistency(f.factory, job.states, job.in, vopts)
+		f.db.Judge(job.j, r.Status)
+	} else {
+		r = validate.Sync(f.factory, job.states, job.si, vopts)
+		f.db.JudgeSync(job.js, r.Status)
+	}
+	// Forensic artifact bundles: every confirmed bug (every judged finding
+	// with ArtifactAll) becomes a self-contained replayable directory.
+	if f.artifacts == nil || (r.Status != core.StatusBug && !f.opts.ArtifactAll) {
+		return nil
+	}
+	var bug artifact.Report
+	if job.in != nil {
+		bug = artifact.FromInconsistency(f.targetName, f.opts.Threads, job.in, r.Status, artifactValidation(r))
+	} else {
+		bug = artifact.FromSync(f.targetName, f.opts.Threads, job.si, r.Status, artifactValidation(r))
+	}
+	_, err := f.artifacts.Write(&artifact.Bundle{
+		Bug:      bug,
+		Seed:     job.seed,
+		Schedule: job.sd,
+		Trace:    artifact.ConvertTrace(job.trace),
+		PMDiff:   artifact.ConvertDirty(job.dirty),
+	})
+	return err
+}
+
+// artifactValidation converts a validation result, including the per-state
+// verdict table, into its artifact JSON form.
+func artifactValidation(r validate.Result) artifact.Validation {
+	v := artifact.Validation{Latency: r.Latency, RecoveryHung: r.RecoveryHung}
+	for _, s := range r.States {
+		sv := artifact.StateVerdict{
+			State:        s.State,
+			Status:       s.Status.String(),
+			RecoveryHung: s.RecoveryHung,
+			WallTimeout:  s.WallTimeout,
+			LatencyMs:    float64(s.Latency.Microseconds()) / 1e3,
+		}
+		if s.RecoveryErr != nil {
+			sv.RecoveryErr = s.RecoveryErr.Error()
+		}
+		v.States = append(v.States, sv)
+	}
+	return v
 }
 
 func (f *Fuzzer) result() *Result {

@@ -223,7 +223,7 @@ func Fingerprint(ev Event) string {
 		return fmt.Sprintf("inconsistency %s w=%s r=%s s=%s var=%s flow=%s",
 			v.Class, v.WriteSite, v.ReadSite, v.StoreSite, v.Var, v.Flow)
 	case *ValidationVerdict:
-		return fmt.Sprintf("verdict %s %s hung=%v", v.Class, v.Status, v.RecoveryHung)
+		return fmt.Sprintf("verdict %s %s hung=%v states=%d", v.Class, v.Status, v.RecoveryHung, v.CrashStates)
 	case *BugConfirmed:
 		return fmt.Sprintf("bug %s site=%s var=%s", v.Class, v.Site, v.Var)
 	case *CampaignDone:

@@ -159,6 +159,10 @@ type ValidationVerdict struct {
 	Status string `json:"status"`
 	// RecoveryHung reports that the recovery run itself hung.
 	RecoveryHung bool `json:"recovery_hung,omitempty"`
+	// CrashStates is the number of enumerated crash states the finding was
+	// judged against (zero for whitelisted/external findings that skip
+	// recovery).
+	CrashStates int `json:"crash_states,omitempty"`
 	// Latency is the wall-clock cost of the validation run.
 	Latency time.Duration `json:"latency_ns"`
 }

@@ -11,18 +11,21 @@ import (
 // Standard metric names. Producers register them lazily through the
 // Registry; keeping the names here stops dashboards and code drifting.
 const (
-	MExecs              = "fuzz_execs_total"
-	MSeedsAccepted      = "corpus_seeds_accepted_total"
-	MInterleavings      = "sched_interleavings_total"
-	MInconsistencies    = "detect_inconsistencies_total"
-	MBugs               = "detect_bugs_total"
-	MCheckpointRestores = "exec_checkpoint_restores_total"
-	MValidations        = "validate_runs_total"
-	MEventsDropped      = "obs_events_dropped_total"
-	MBranchCov          = "cover_branch_bits"
-	MAliasCov           = "cover_alias_bits"
-	HExecLatency        = "exec_latency"
-	HValidationLatency  = "validate_latency"
+	MExecs                = "fuzz_execs_total"
+	MSeedsAccepted        = "corpus_seeds_accepted_total"
+	MInterleavings        = "sched_interleavings_total"
+	MInconsistencies      = "detect_inconsistencies_total"
+	MBugs                 = "detect_bugs_total"
+	MCheckpointRestores   = "exec_checkpoint_restores_total"
+	MValidations          = "validate_runs_total"
+	MValidateCrashStates  = "validate_crash_states_total"
+	MValidateWallTimeouts = "validate_wall_timeouts_total"
+	MEventsDropped        = "obs_events_dropped_total"
+	MBranchCov            = "cover_branch_bits"
+	MAliasCov             = "cover_alias_bits"
+	HExecLatency          = "exec_latency"
+	HValidationLatency    = "validate_latency"
+	HValidateStateLatency = "validate_state_latency"
 )
 
 // Counter is a monotonically increasing atomic counter. All methods are

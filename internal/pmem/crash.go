@@ -1,7 +1,9 @@
 package pmem
 
 import (
+	"fmt"
 	"math/bits"
+	"sort"
 	"sync"
 )
 
@@ -49,18 +51,137 @@ func (p *Pool) CrashImage() []byte {
 // construct the adversarial crash point for a detected inconsistency: the
 // durable side effect has reached PM (its flush completed) while the
 // non-persisted data it depends on has not (paper Figure 3).
+//
+// A range that partially overlaps the pool is clamped to the pool's end; a
+// range that lies entirely outside it (or whose length overflows) panics —
+// silently dropping it would validate the finding against an image missing
+// its own side effect, turning a real bug into a falsely-clean recovery run.
 func (p *Pool) CrashImageWith(extra []Range) []byte {
 	img := getImageBuf(p.size)
 	p.guard.Lock()
 	copy(img, p.persisted)
 	for _, r := range extra {
-		if r.Off+r.Len > p.size {
+		if r.Len == 0 {
 			continue
 		}
-		copy(img[r.Off:r.End()], p.cache[r.Off:r.End()])
+		if r.Off >= p.size || r.End() < r.Off {
+			p.guard.Unlock()
+			panic(fmt.Sprintf("pmem: crash-image range [%#x,%#x) entirely outside pool of size %#x",
+				r.Off, r.End(), p.size))
+		}
+		end := r.End()
+		if end > p.size {
+			end = p.size
+		}
+		copy(img[r.Off:end], p.cache[r.Off:end])
 	}
 	p.guard.Unlock()
 	return img
+}
+
+// Names of the fixed enumerated crash states; per-pending-line states are
+// named "pending-line@<offset>".
+const (
+	// StateSideEffect is the paper's §4.4 adversarial image: the durable
+	// side effect is force-persisted, the dependent dirty data is lost.
+	StateSideEffect = "side-effect-persisted"
+	// StateBaseline is the plain persisted image: what an ADR crash with
+	// no adversarial timing preserves.
+	StateBaseline = "persisted-baseline"
+)
+
+// CrashState is one plausible post-crash pool image for a finding.
+type CrashState struct {
+	// Name identifies how the state was constructed (StateSideEffect,
+	// StateBaseline, or "pending-line@<offset>").
+	Name string
+	// HasSideEffect reports that the finding's durable side effect is
+	// persisted in this image. The §4.4 overwrite oracle only applies to
+	// such states: in the baseline the side effect never reached PM, so
+	// recovery has nothing to overwrite and only a hang or error there is
+	// evidence of a bug.
+	HasSideEffect bool
+	// Img is the crash image; recyclable through RecycleImage.
+	Img []byte
+}
+
+// AdversarialState wraps a single §4.4 adversarial image (from
+// CrashImageWith) as a one-entry state list — the single-image validation
+// the paper describes, and what callers that manage their own images use.
+func AdversarialState(img []byte) []CrashState {
+	return []CrashState{{Name: StateSideEffect, HasSideEffect: true, Img: img}}
+}
+
+// RecycleStates hands every state image back to the buffer pool. The caller
+// must not use the states afterwards.
+func RecycleStates(states []CrashState) {
+	for i := range states {
+		RecycleImage(states[i].Img)
+		states[i].Img = nil
+	}
+}
+
+// CrashStates enumerates up to max plausible crash states for a finding
+// whose durable side effect covers the extra ranges (WITCHER-style bounded
+// crash-state enumeration layered on the paper's single adversarial image):
+//
+//  1. the §4.4 adversarial image — side effect persisted, dirty data lost;
+//  2. the persisted-only baseline;
+//  3. one state per flushed-but-unfenced cache line, the adversarial image
+//     with that line's staged data additionally applied — a crash after the
+//     line left the CPU but before its fence retired.
+//
+// The enumeration order is deterministic (pending lines sorted by address),
+// so a finding validates identically across runs. max <= 1 returns exactly
+// the adversarial image, reproducing single-image validation.
+func (p *Pool) CrashStates(extra []Range, max int) []CrashState {
+	adv := p.CrashImageWith(extra)
+	states := []CrashState{{Name: StateSideEffect, HasSideEffect: true, Img: adv}}
+	if max <= 1 {
+		return states
+	}
+	states = append(states, CrashState{Name: StateBaseline, Img: p.CrashImage()})
+	if len(states) >= max {
+		return states
+	}
+
+	// Collect the distinct staged lines across threads, keeping the latest
+	// capture per line. Thread order is sorted so map iteration cannot
+	// perturb which capture wins or the resulting state order.
+	p.pendingMu.Lock()
+	lineData := make(map[Addr][LineSize]byte, 4)
+	tids := make([]ThreadID, 0, len(p.pending))
+	for t := range p.pending {
+		tids = append(tids, t)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, t := range tids {
+		for _, s := range p.pending[t] {
+			lineData[s.line] = s.data
+		}
+	}
+	p.pendingMu.Unlock()
+
+	lines := make([]Addr, 0, len(lineData))
+	for l := range lineData {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, l := range lines {
+		if len(states) >= max {
+			break
+		}
+		img := getImageBuf(p.size)
+		copy(img, adv)
+		data := lineData[l]
+		copy(img[l:l+LineSize], data[:])
+		states = append(states, CrashState{
+			Name:          fmt.Sprintf("pending-line@%#x", l),
+			HasSideEffect: true,
+			Img:           img,
+		})
+	}
+	return states
 }
 
 // Snapshot is a deep copy of a pool's full state, used to implement the

@@ -2,6 +2,7 @@ package pmem
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -184,11 +185,121 @@ func TestCrashImageWithForcesRanges(t *testing.T) {
 	}
 }
 
-func TestCrashImageWithIgnoresOutOfBounds(t *testing.T) {
+// TestCrashImageWithOutOfBoundsPanics is the regression test for the silent
+// `continue` that used to drop fully out-of-range side-effect ranges: a bad
+// range would yield a crash image missing its own side effect and a
+// falsely-clean recovery run. It must panic with a diagnostic instead.
+func TestCrashImageWithOutOfBoundsPanics(t *testing.T) {
 	p := New(128)
-	img := p.CrashImageWith([]Range{{Off: 1 << 30, Len: 8}})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("fully out-of-range crash-image range must panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "outside pool") {
+			t.Fatalf("panic = %v, want range diagnostic", r)
+		}
+	}()
+	p.CrashImageWith([]Range{{Off: 1 << 30, Len: 8}})
+}
+
+// TestCrashImageWithClampsPartialOverlap: a range that starts inside the pool
+// but runs past its end is clamped to the pool boundary, not dropped.
+func TestCrashImageWithClampsPartialOverlap(t *testing.T) {
+	p := New(128)
+	p.Store64(1, 1, 120, 77) // unflushed, in the last word
+	img := p.CrashImageWith([]Range{{Off: 120, Len: 64}})
 	if len(img) != 128 {
 		t.Fatalf("image size = %d, want 128", len(img))
+	}
+	if got := FromImage(img).Load64(120); got != 77 {
+		t.Fatalf("clamped range must still force the in-bounds prefix, got %d", got)
+	}
+}
+
+// TestCrashImageWithZeroLenRangeIgnored: zero-length ranges stay no-ops even
+// when their offset is out of range (a Range{} zero value must be harmless).
+func TestCrashImageWithZeroLenRangeIgnored(t *testing.T) {
+	p := New(128)
+	img := p.CrashImageWith([]Range{{Off: 1 << 30, Len: 0}})
+	if len(img) != 128 {
+		t.Fatalf("image size = %d, want 128", len(img))
+	}
+}
+
+func TestCrashStatesSingleIsAdversarialImage(t *testing.T) {
+	p := New(256)
+	p.Store64(1, 1, 64, 9) // unflushed
+	states := p.CrashStates([]Range{{Off: 64, Len: 8}}, 1)
+	if len(states) != 1 {
+		t.Fatalf("max=1 must yield exactly the adversarial state, got %d", len(states))
+	}
+	st := states[0]
+	if st.Name != StateSideEffect || !st.HasSideEffect {
+		t.Fatalf("state = %+v, want side-effect-persisted", st)
+	}
+	if got := FromImage(st.Img).Load64(64); got != 9 {
+		t.Fatalf("adversarial image must force the side effect, got %d", got)
+	}
+}
+
+func TestCrashStatesEnumeratesBaselineAndPendingLines(t *testing.T) {
+	p := New(512)
+	p.Store64(1, 1, 64, 5)
+	p.PersistNow(1, 64, 8)
+	p.Store64(1, 1, 128, 7) // flushed but unfenced: a pending line
+	p.Flush(1, 128, 8)
+	p.Store64(1, 1, 256, 3) // dirty side effect
+	states := p.CrashStates([]Range{{Off: 256, Len: 8}}, 8)
+	if len(states) != 3 {
+		t.Fatalf("got %d states, want adversarial+baseline+1 pending line", len(states))
+	}
+	if states[0].Name != StateSideEffect || states[1].Name != StateBaseline {
+		t.Fatalf("state order = %q, %q", states[0].Name, states[1].Name)
+	}
+	if states[1].HasSideEffect {
+		t.Fatalf("baseline must not claim the side effect")
+	}
+	base := FromImage(states[1].Img)
+	if base.Load64(64) != 5 || base.Load64(256) != 0 {
+		t.Fatalf("baseline must be the plain persisted image")
+	}
+	pend := states[2]
+	if pend.Name != "pending-line@0x80" || !pend.HasSideEffect {
+		t.Fatalf("pending state = %+v", pend)
+	}
+	pimg := FromImage(pend.Img)
+	if pimg.Load64(128) != 7 {
+		t.Fatalf("pending state must apply the staged line, got %d", pimg.Load64(128))
+	}
+	if pimg.Load64(256) != 3 {
+		t.Fatalf("pending state must keep the adversarial side effect, got %d", pimg.Load64(256))
+	}
+	RecycleStates(states)
+}
+
+func TestCrashStatesRespectsCap(t *testing.T) {
+	p := New(1024)
+	for i := 0; i < 4; i++ {
+		addr := Addr(64 * (i + 1))
+		p.Store64(1, 1, addr, uint64(i+1))
+		p.Flush(1, addr, 8)
+	}
+	p.Store64(1, 1, 768, 9)
+	states := p.CrashStates([]Range{{Off: 768, Len: 8}}, 3)
+	if len(states) != 3 {
+		t.Fatalf("got %d states, want cap of 3", len(states))
+	}
+}
+
+func TestRecycleStatesClearsImages(t *testing.T) {
+	p := New(128)
+	states := p.CrashStates(nil, 2)
+	RecycleStates(states)
+	for i, st := range states {
+		if st.Img != nil {
+			t.Fatalf("state %d image not cleared after recycle", i)
+		}
 	}
 }
 

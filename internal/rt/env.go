@@ -28,13 +28,19 @@ import (
 	"github.com/pmrace-go/pmrace/internal/taint"
 )
 
+// DefaultHangTimeout is the spin-lock hang bound used when Config leaves
+// HangTimeout zero. It is the single source of the default: the runtime and
+// post-failure validation both inherit it, so the two layers cannot disagree
+// about when a spinning thread counts as hung.
+const DefaultHangTimeout = 250 * time.Millisecond
+
 // Config configures an execution environment.
 type Config struct {
 	// Strategy is the interleaving exploration strategy; nil means
 	// sched.None.
 	Strategy sched.Strategy
 	// HangTimeout bounds spin-lock acquisition; a thread spinning longer
-	// is reported as hung. Zero selects a default suitable for tests.
+	// is reported as hung. Zero selects DefaultHangTimeout.
 	HangTimeout time.Duration
 	// OnInconsistency, when set, is invoked synchronously at the moment a
 	// durable side effect based on non-persisted data is detected, while
@@ -84,6 +90,11 @@ type Env struct {
 	recMu    sync.Mutex
 	written  map[pmem.Addr]struct{} // word-aligned offsets overwritten
 
+	// cancelled is checked at the top of every pool-mutating hook; the
+	// validation watchdog sets it to stop an abandoned recovery goroutine
+	// from mutating its pool after the wall-clock deadline expired.
+	cancelled atomic.Bool
+
 	threadsMu sync.Mutex
 	nextTID   pmem.ThreadID
 }
@@ -94,7 +105,7 @@ func NewEnv(pool *pmem.Pool, cfg Config) *Env {
 		cfg.Strategy = sched.None{}
 	}
 	if cfg.HangTimeout <= 0 {
-		cfg.HangTimeout = 250 * time.Millisecond
+		cfg.HangTimeout = DefaultHangTimeout
 	}
 	labels := taint.NewTable()
 	e := &Env{
@@ -177,6 +188,33 @@ func (e *Env) recordStat(t pmem.ThreadID, addr pmem.Addr, s site.ID, isStore boo
 	}
 	st.Record(t, s, isStore)
 	e.statsMu.Unlock()
+}
+
+// CancelError is panicked by a hook call on a cancelled environment. The
+// goroutine driving the cancelled execution recovers it and exits; unlike
+// HangError it is not a finding, only a teardown signal.
+type CancelError struct{}
+
+// Error implements error.
+func (CancelError) Error() string { return "rt: execution environment cancelled" }
+
+// Cancel marks the environment cancelled: every subsequent pool-mutating hook
+// call panics CancelError, so a goroutine stuck in an instrumented loop stops
+// touching the pool at its next access. The validation watchdog calls it when
+// a recovery run exceeds its wall-clock deadline. Goroutines that never call
+// another hook (a plain `for {}`) cannot be stopped — Go has no goroutine
+// kill — but they also cannot corrupt the pool.
+func (e *Env) Cancel() { e.cancelled.Store(true) }
+
+// Cancelled reports whether Cancel was called.
+func (e *Env) Cancelled() bool { return e.cancelled.Load() }
+
+// checkCancel panics CancelError when the environment is cancelled. One
+// atomic load on the hot path, same pattern as recordOn.
+func (e *Env) checkCancel() {
+	if e.cancelled.Load() {
+		panic(CancelError{})
+	}
 }
 
 // EnableWriteRecorder starts recording every word offset written through the

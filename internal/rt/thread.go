@@ -66,6 +66,7 @@ func (t *Thread) Load64(addr pmem.Addr) (uint64, taint.Label) {
 
 func (t *Thread) load64At(addr pmem.Addr, s site.ID) (uint64, taint.Label) {
 	e := t.env
+	e.checkCancel()
 	e.strat.BeforeLoad(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, false)
 	t.traceAccess(AccLoad, addr, s)
@@ -91,6 +92,7 @@ func (t *Thread) load64At(addr pmem.Addr, s site.ID) (uint64, taint.Label) {
 func (t *Thread) LoadBytes(addr pmem.Addr, n uint64) ([]byte, taint.Label) {
 	s := t.sites.Here(0)
 	e := t.env
+	e.checkCancel()
 	e.strat.BeforeLoad(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, false)
 	t.traceAccess(AccLoad, addr, s)
@@ -126,6 +128,7 @@ func (t *Thread) Store64(addr pmem.Addr, val uint64, valLab, addrLab taint.Label
 
 func (t *Thread) store64At(addr pmem.Addr, val uint64, valLab, addrLab taint.Label, s site.ID) {
 	e := t.env
+	e.checkCancel()
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
 	t.traceAccess(AccStore, addr, s)
@@ -144,6 +147,7 @@ func (t *Thread) store64At(addr pmem.Addr, val uint64, valLab, addrLab taint.Lab
 func (t *Thread) StoreBytes(addr pmem.Addr, data []byte, valLab, addrLab taint.Label) {
 	s := t.sites.Here(0)
 	e := t.env
+	e.checkCancel()
 	n := uint64(len(data))
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
@@ -161,6 +165,7 @@ func (t *Thread) StoreBytes(addr pmem.Addr, data []byte, valLab, addrLab taint.L
 func (t *Thread) NTStore64(addr pmem.Addr, val uint64, valLab, addrLab taint.Label) {
 	s := t.sites.Here(0)
 	e := t.env
+	e.checkCancel()
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
 	t.traceAccess(AccNTStore, addr, s)
@@ -175,6 +180,7 @@ func (t *Thread) NTStore64(addr pmem.Addr, val uint64, valLab, addrLab taint.Lab
 func (t *Thread) NTStoreBytes(addr pmem.Addr, data []byte, valLab, addrLab taint.Label) {
 	s := t.sites.Here(0)
 	e := t.env
+	e.checkCancel()
 	n := uint64(len(data))
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
@@ -195,6 +201,7 @@ func (t *Thread) CAS64(addr pmem.Addr, old, new uint64, valLab, addrLab taint.La
 
 func (t *Thread) cas64At(addr pmem.Addr, old, new uint64, valLab, addrLab taint.Label, s site.ID) (bool, uint64, taint.Label) {
 	e := t.env
+	e.checkCancel()
 	e.strat.BeforeStore(t.ID, addr, s)
 	e.recordStat(t.ID, addr, s, true)
 	t.traceAccess(AccCAS, addr, s)
@@ -262,6 +269,7 @@ func (t *Thread) Flush(addr pmem.Addr, n uint64) {
 }
 
 func (t *Thread) flushAt(s site.ID, addr pmem.Addr, n uint64) {
+	t.env.checkCancel()
 	t.traceAccess(AccFlush, addr, s)
 	_, _, anyDirty := t.env.pool.WordDirtyRange(addr, n)
 	t.env.det.OnFlush(s, addr, anyDirty)
@@ -270,7 +278,10 @@ func (t *Thread) flushAt(s site.ID, addr pmem.Addr, n uint64) {
 
 // Fence issues SFENCE: the thread's pending flushes reach the persistence
 // domain.
-func (t *Thread) Fence() { t.env.pool.Fence(t.ID) }
+func (t *Thread) Fence() {
+	t.env.checkCancel()
+	t.env.pool.Fence(t.ID)
+}
 
 // Persist is the common flush+fence sequence.
 func (t *Thread) Persist(addr pmem.Addr, n uint64) {

@@ -34,7 +34,7 @@ func setup(t *testing.T) (*rt.Env, *rt.Thread, *HT, []validate.Result) {
 	var results []validate.Result
 	factory := func() targets.Target { return New() }
 	for _, c := range caps {
-		results = append(results, validate.Inconsistency(factory, c.img, c.in,
+		results = append(results, validate.Inconsistency(factory, pmem.AdversarialState(c.img), c.in,
 			validate.Options{Whitelist: core.NewWhitelist(pmdk.DefaultWhitelist()...)}))
 	}
 	return env, th, h, results
@@ -140,7 +140,7 @@ func TestConcurrentAllocCandidatesAreWhitelisted(t *testing.T) {
 		if c.in.Kind != core.KindInter {
 			continue
 		}
-		r := validate.Inconsistency(factory, c.img, c.in, validate.Options{Whitelist: wl})
+		r := validate.Inconsistency(factory, pmem.AdversarialState(c.img), c.in, validate.Options{Whitelist: wl})
 		if r.Status == core.StatusBug {
 			t.Fatalf("allocator inconsistency must be whitelisted or validated, got bug: %+v", c.in)
 		}

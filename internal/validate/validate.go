@@ -1,16 +1,29 @@
-// Package validate implements PMRace's post-failure validation (paper §4.4).
-// For each detected inconsistency the fuzzer duplicated the pool at the
-// adversarial crash point (durable side effect persisted, dependent data
-// lost). Validation restarts the target on that image, runs its recovery
-// code under a write recorder, and decides:
+// Package validate implements PMRace's post-failure validation (paper §4.4),
+// hardened in two directions beyond the paper:
+//
+//   - Every recovery run executes in a watchdog-supervised goroutine with a
+//     wall-clock deadline (Options.WallTimeout, distinct from the spin-lock
+//     HangTimeout). Recovery that spins in an uninstrumented loop, sleeps
+//     forever or panics becomes a StatusBug verdict with RecoveryHung or
+//     RecoveryErr populated instead of wedging the campaign; the abandoned
+//     goroutine's environment is cancelled so it stops mutating its pool at
+//     its next hook call.
+//
+//   - A finding is judged against a *list* of enumerated crash states
+//     (pmem.CrashStates) rather than the single adversarial image, and the
+//     Result carries a per-state verdict table. A finding is a bug if any
+//     state fails recovery — strictly stronger than the single-image §4.4
+//     verdict, which is reproduced exactly by passing one adversarial state.
+//
+// Per state, the oracles are unchanged from the paper:
 //
 //   - Inter-/intra-thread inconsistency: if recovery overwrote every byte of
-//     the recorded durable side effect, the inconsistency is a validated
-//     false positive (the application's recovery mechanism fixes it);
-//     otherwise it is reported as a bug.
-//   - Synchronization inconsistency: if the annotated variable holds its
-//     expected initial value after recovery, it is benign; otherwise the
-//     stale synchronization state survived — a PM Execution Context Bug.
+//     the recorded durable side effect, the state passes (the application's
+//     recovery mechanism fixes it); otherwise it fails. States whose image
+//     does not contain the side effect (the persisted baseline) skip the
+//     overwrite oracle — only a hang or error fails them.
+//   - Synchronization inconsistency: the annotated variable must hold its
+//     expected initial value after recovery in every state.
 //
 // A whitelist check runs first: inconsistencies whose stacks or sites match
 // developer-specified benign patterns (redo-logged allocation, checksummed
@@ -18,6 +31,7 @@
 package validate
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/pmrace-go/pmrace/internal/core"
@@ -27,16 +41,27 @@ import (
 	"github.com/pmrace-go/pmrace/internal/targets"
 )
 
+// DefaultWallTimeout bounds one recovery run's wall-clock time when Options
+// leaves WallTimeout zero. It is deliberately much larger than the spin-lock
+// HangTimeout: the spin detector fires first for instrumented hangs, and the
+// watchdog only catches what the detector cannot see.
+const DefaultWallTimeout = 2 * time.Second
+
 // Options configure validation runs.
 type Options struct {
-	// HangTimeout bounds recovery execution; recovery that hangs (e.g. on
-	// a never-released persistent lock) confirms the bug.
+	// HangTimeout bounds spin-lock acquisition inside recovery; recovery
+	// that hangs on a never-released persistent lock confirms the bug.
+	// Zero selects rt.DefaultHangTimeout — the same default the fuzzing
+	// runtime uses, so the two layers cannot disagree.
 	HangTimeout time.Duration
+	// WallTimeout bounds one recovery run's total wall-clock time. It
+	// catches hangs the spin-lock detector cannot see: uninstrumented
+	// loops, sleeps, runaway recovery. Zero selects DefaultWallTimeout.
+	WallTimeout time.Duration
 	// Whitelist holds the benign patterns; nil disables whitelisting.
 	Whitelist *core.Whitelist
-	// Obs, when set, receives a ValidationVerdict event (with the
-	// validation run's latency) per judged finding and feeds the
-	// validate_runs_total counter and validate_latency histogram.
+	// Obs, when set, receives a ValidationVerdict event per judged finding
+	// and feeds the validation counters and latency histograms.
 	Obs *obs.Emitter
 }
 
@@ -49,27 +74,66 @@ func (o Options) observe(class string, r Result, started time.Time) Result {
 		Class:        class,
 		Status:       r.Status.String(),
 		RecoveryHung: r.RecoveryHung,
+		CrashStates:  len(r.States),
 		Latency:      r.Latency,
 	})
 	return r
 }
 
-// Result is the outcome of one validation run.
-type Result struct {
+// StateVerdict is one row of the per-state verdict table.
+type StateVerdict struct {
+	// State names the crash state (pmem.StateSideEffect, ...).
+	State string
+	// Status is this state's verdict: bug or validated FP.
 	Status core.Status
-	// RecoveryHung reports that the recovery code itself hung — direct
-	// evidence for synchronization bugs.
+	// RecoveryHung reports the recovery run hung (spin-lock detector or
+	// wall-clock watchdog).
 	RecoveryHung bool
+	// WallTimeout reports that the watchdog, not the spin-lock detector,
+	// declared the hang.
+	WallTimeout bool
 	// RecoveryErr records a recovery failure, if any.
 	RecoveryErr error
-	// Latency is the wall time of the validation run (whitelist check,
-	// recovery execution and verdict); artifact bundles record it.
+	// Latency is the wall time of this state's recovery run.
 	Latency time.Duration
 }
 
+// Result is the outcome of one validation run.
+type Result struct {
+	Status core.Status
+	// RecoveryHung reports that some state's recovery run hung — direct
+	// evidence for synchronization bugs.
+	RecoveryHung bool
+	// RecoveryErr records the first failing state's recovery error.
+	RecoveryErr error
+	// Latency is the wall time of the whole validation (whitelist check
+	// plus every state's recovery run); artifact bundles record it.
+	Latency time.Duration
+	// States is the per-state verdict table, in enumeration order. Empty
+	// for whitelisted and external findings, which skip recovery.
+	States []StateVerdict
+}
+
+// aggregate folds the per-state table into the finding-level verdict: a bug
+// if any enumerated state failed recovery, a validated FP only when every
+// state passed. The first failing state's evidence is hoisted to the top.
+func aggregate(r Result) Result {
+	r.Status = core.StatusValidatedFP
+	for _, v := range r.States {
+		if v.Status == core.StatusBug {
+			r.Status = core.StatusBug
+			r.RecoveryHung = v.RecoveryHung
+			r.RecoveryErr = v.RecoveryErr
+			break
+		}
+	}
+	return r
+}
+
 // Inconsistency validates one inter-/intra-thread inconsistency against its
-// crash image.
-func Inconsistency(factory targets.Factory, img []byte, in *core.Inconsistency, opts Options) Result {
+// enumerated crash states (pmem.CrashStates, or pmem.AdversarialState for
+// the paper's single-image validation).
+func Inconsistency(factory targets.Factory, states []pmem.CrashState, in *core.Inconsistency, opts Options) Result {
 	started := time.Now()
 	class := "intra"
 	if in.Kind == core.KindInter {
@@ -83,63 +147,125 @@ func Inconsistency(factory targets.Factory, img []byte, in *core.Inconsistency, 
 		// write or a message based on lost PM state is a bug outright.
 		return opts.observe(class, Result{Status: core.StatusBug}, started)
 	}
-	env, hung, err := runRecovery(factory, img, opts)
-	if hung {
-		return opts.observe(class, Result{Status: core.StatusBug, RecoveryHung: true, RecoveryErr: err}, started)
+	var res Result
+	for _, st := range states {
+		hasSE := st.HasSideEffect
+		res.States = append(res.States, opts.judgeState(factory, st, func(env *rt.Env) core.Status {
+			if !hasSE {
+				// The side effect never reached PM in this state;
+				// recovery completing cleanly is all we can ask.
+				return core.StatusValidatedFP
+			}
+			if env.RangeOverwritten(in.SideEffect) {
+				return core.StatusValidatedFP
+			}
+			return core.StatusBug
+		}))
 	}
-	if err != nil {
-		// Recovery could not complete: the inconsistency was not fixed.
-		return opts.observe(class, Result{Status: core.StatusBug, RecoveryErr: err}, started)
-	}
-	if env.RangeOverwritten(in.SideEffect) {
-		return opts.observe(class, Result{Status: core.StatusValidatedFP}, started)
-	}
-	return opts.observe(class, Result{Status: core.StatusBug}, started)
+	return opts.observe(class, aggregate(res), started)
 }
 
-// Sync validates one synchronization inconsistency against its crash image.
-func Sync(factory targets.Factory, img []byte, si *core.SyncInconsistency, opts Options) Result {
+// Sync validates one synchronization inconsistency against its enumerated
+// crash states. The annotated variable must hold its expected initial value
+// after recovery in every state.
+func Sync(factory targets.Factory, states []pmem.CrashState, si *core.SyncInconsistency, opts Options) Result {
 	started := time.Now()
 	if opts.Whitelist != nil && opts.Whitelist.MatchStack(si.Stack) {
 		return opts.observe("sync", Result{Status: core.StatusWhitelistedFP}, started)
 	}
-	env, hung, err := runRecovery(factory, img, opts)
-	if hung {
-		return opts.observe("sync", Result{Status: core.StatusBug, RecoveryHung: true, RecoveryErr: err}, started)
+	var res Result
+	for _, st := range states {
+		res.States = append(res.States, opts.judgeState(factory, st, func(env *rt.Env) core.Status {
+			if si.Addr+8 > env.Pool().Size() {
+				return core.StatusBug
+			}
+			if env.Pool().Load64(si.Addr) == si.Var.InitVal {
+				return core.StatusValidatedFP
+			}
+			return core.StatusBug
+		}))
 	}
-	if err != nil {
-		return opts.observe("sync", Result{Status: core.StatusBug, RecoveryErr: err}, started)
+	return opts.observe("sync", aggregate(res), started)
+}
+
+// judgeState runs one state's recovery under the watchdog and applies the
+// caller's oracle to the recovered environment when recovery completed.
+func (o Options) judgeState(factory targets.Factory, st pmem.CrashState, oracle func(*rt.Env) core.Status) StateVerdict {
+	start := time.Now()
+	v := StateVerdict{State: st.Name}
+	env, hung, wallTimedOut, err := runRecovery(factory, st.Img, o)
+	v.Latency = time.Since(start)
+	reg := o.Obs.Registry()
+	reg.Counter(obs.MValidateCrashStates).Inc()
+	reg.Histogram(obs.HValidateStateLatency).Observe(v.Latency)
+	if wallTimedOut {
+		reg.Counter(obs.MValidateWallTimeouts).Inc()
 	}
-	if si.Addr+8 > env.Pool().Size() {
-		return opts.observe("sync", Result{Status: core.StatusBug}, started)
+	v.WallTimeout = wallTimedOut
+	switch {
+	case hung:
+		v.Status, v.RecoveryHung, v.RecoveryErr = core.StatusBug, true, err
+	case err != nil:
+		// Recovery could not complete: the state was not fixed.
+		v.Status, v.RecoveryErr = core.StatusBug, err
+	default:
+		v.Status = oracle(env)
 	}
-	if env.Pool().Load64(si.Addr) == si.Var.InitVal {
-		return opts.observe("sync", Result{Status: core.StatusValidatedFP}, started)
-	}
-	return opts.observe("sync", Result{Status: core.StatusBug}, started)
+	return v
+}
+
+// recoveryResult is what the sandboxed recovery goroutine reports.
+type recoveryResult struct {
+	hung bool
+	err  error
 }
 
 // runRecovery restarts the target on the crash image with write recording
-// enabled and runs its recovery procedure, converting hangs into results
-// instead of panics.
-func runRecovery(factory targets.Factory, img []byte, opts Options) (env *rt.Env, hung bool, err error) {
+// enabled and runs its recovery procedure in a watchdog-supervised goroutine.
+// Spin-lock hangs (rt.HangError) and recovery panics become results; a run
+// exceeding opts.WallTimeout is abandoned — its environment is cancelled so
+// the goroutine stops mutating the pool at its next hook call — and reported
+// as hung with wallTimedOut set. The image is fully copied before the
+// goroutine starts, so the caller may recycle it as soon as runRecovery
+// returns, even after a wall timeout.
+func runRecovery(factory targets.Factory, img []byte, opts Options) (env *rt.Env, hung, wallTimedOut bool, err error) {
 	if opts.HangTimeout <= 0 {
-		opts.HangTimeout = 100 * time.Millisecond
+		opts.HangTimeout = rt.DefaultHangTimeout
+	}
+	if opts.WallTimeout <= 0 {
+		opts.WallTimeout = DefaultWallTimeout
 	}
 	env = rt.NewEnv(pmem.FromImage(img), rt.Config{HangTimeout: opts.HangTimeout})
 	env.EnableWriteRecorder()
-	tgt := factory()
-	th := env.Spawn()
-	defer func() {
-		if r := recover(); r != nil {
-			if h, ok := r.(rt.HangError); ok {
-				hung = true
-				err = h
-				return
+	// Buffered so an abandoned goroutine's send never blocks: the watchdog
+	// result channel must not leak the recovery goroutine on top of the
+	// hang it just detected.
+	done := make(chan recoveryResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				switch e := r.(type) {
+				case rt.HangError:
+					done <- recoveryResult{hung: true, err: e}
+				case rt.CancelError:
+					// Abandoned by the watchdog; the verdict was
+					// already returned. Exit quietly.
+				default:
+					done <- recoveryResult{err: fmt.Errorf("validate: recovery panicked: %v", r)}
+				}
 			}
-			panic(r)
-		}
+		}()
+		tgt := factory()
+		th := env.Spawn()
+		done <- recoveryResult{err: tgt.Recover(th)}
 	}()
-	err = tgt.Recover(th)
-	return env, false, err
+	timer := time.NewTimer(opts.WallTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return env, r.hung, false, r.err
+	case <-timer.C:
+		env.Cancel()
+		return env, true, true, fmt.Errorf("validate: recovery exceeded wall timeout %s", opts.WallTimeout)
+	}
 }

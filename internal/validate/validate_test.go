@@ -2,6 +2,9 @@ package validate
 
 import (
 	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -47,9 +50,15 @@ func sideEffectImage(t *testing.T) ([]byte, *core.Inconsistency) {
 
 func TestInconsistencyBugWhenRecoveryIgnoresIt(t *testing.T) {
 	img, in := sideEffectImage(t)
-	res := Inconsistency(factoryOf(func(*rt.Thread) error { return nil }), img, in, Options{})
+	res := Inconsistency(factoryOf(func(*rt.Thread) error { return nil }), pmem.AdversarialState(img), in, Options{})
 	if res.Status != core.StatusBug {
 		t.Fatalf("status = %v, want bug", res.Status)
+	}
+	if len(res.States) != 1 || res.States[0].State != pmem.StateSideEffect {
+		t.Fatalf("states = %+v, want one side-effect-persisted row", res.States)
+	}
+	if res.States[0].Status != core.StatusBug {
+		t.Fatalf("state verdict = %v, want bug", res.States[0].Status)
 	}
 }
 
@@ -60,7 +69,7 @@ func TestInconsistencyFPWhenRecoveryOverwrites(t *testing.T) {
 		th.Persist(512, 8)
 		return nil
 	})
-	res := Inconsistency(f, img, in, Options{})
+	res := Inconsistency(f, pmem.AdversarialState(img), in, Options{})
 	if res.Status != core.StatusValidatedFP {
 		t.Fatalf("status = %v, want validated FP", res.Status)
 	}
@@ -69,16 +78,19 @@ func TestInconsistencyFPWhenRecoveryOverwrites(t *testing.T) {
 func TestInconsistencyWhitelisted(t *testing.T) {
 	img, in := sideEffectImage(t)
 	in.Stack = []string{"pmdk.go:10 pmdk.(*Tx).Alloc"}
-	res := Inconsistency(factoryOf(func(*rt.Thread) error { return nil }), img, in,
+	res := Inconsistency(factoryOf(func(*rt.Thread) error { return nil }), pmem.AdversarialState(img), in,
 		Options{Whitelist: core.NewWhitelist("pmdk.(*Tx).Alloc")})
 	if res.Status != core.StatusWhitelistedFP {
 		t.Fatalf("status = %v, want whitelisted FP", res.Status)
+	}
+	if len(res.States) != 0 {
+		t.Fatalf("whitelisted finding must skip recovery, got states %+v", res.States)
 	}
 }
 
 func TestInconsistencyRecoveryErrorIsBug(t *testing.T) {
 	img, in := sideEffectImage(t)
-	res := Inconsistency(factoryOf(func(*rt.Thread) error { return errors.New("broken") }), img, in, Options{})
+	res := Inconsistency(factoryOf(func(*rt.Thread) error { return errors.New("broken") }), pmem.AdversarialState(img), in, Options{})
 	if res.Status != core.StatusBug || res.RecoveryErr == nil {
 		t.Fatalf("res = %+v, want bug with error", res)
 	}
@@ -93,9 +105,12 @@ func TestInconsistencyRecoveryHangIsBug(t *testing.T) {
 		th.SpinLock(128)
 		return nil
 	})
-	res := Inconsistency(f, imgLocked, in, Options{HangTimeout: 20 * time.Millisecond})
+	res := Inconsistency(f, pmem.AdversarialState(imgLocked), in, Options{HangTimeout: 20 * time.Millisecond})
 	if res.Status != core.StatusBug || !res.RecoveryHung {
 		t.Fatalf("res = %+v, want hung bug", res)
+	}
+	if res.States[0].WallTimeout {
+		t.Fatalf("spin-lock hang must be caught by the spin detector, not the watchdog: %+v", res.States[0])
 	}
 }
 
@@ -115,7 +130,7 @@ func syncImage(t *testing.T) ([]byte, *core.SyncInconsistency) {
 
 func TestSyncBugWhenLockNotReinitialized(t *testing.T) {
 	img, si := syncImage(t)
-	res := Sync(factoryOf(func(*rt.Thread) error { return nil }), img, si, Options{})
+	res := Sync(factoryOf(func(*rt.Thread) error { return nil }), pmem.AdversarialState(img), si, Options{})
 	if res.Status != core.StatusBug {
 		t.Fatalf("status = %v, want bug", res.Status)
 	}
@@ -128,7 +143,7 @@ func TestSyncFPWhenRecoveryReinitializes(t *testing.T) {
 		th.Persist(128, 8)
 		return nil
 	})
-	res := Sync(f, img, si, Options{})
+	res := Sync(f, pmem.AdversarialState(img), si, Options{})
 	if res.Status != core.StatusValidatedFP {
 		t.Fatalf("status = %v, want validated FP", res.Status)
 	}
@@ -137,7 +152,7 @@ func TestSyncFPWhenRecoveryReinitializes(t *testing.T) {
 func TestSyncWhitelisted(t *testing.T) {
 	img, si := syncImage(t)
 	si.Stack = []string{"checksum.go:5 checksummedRegion"}
-	res := Sync(factoryOf(func(*rt.Thread) error { return nil }), img, si,
+	res := Sync(factoryOf(func(*rt.Thread) error { return nil }), pmem.AdversarialState(img), si,
 		Options{Whitelist: core.NewWhitelist("checksummedRegion")})
 	if res.Status != core.StatusWhitelistedFP {
 		t.Fatalf("status = %v, want whitelisted FP", res.Status)
@@ -147,7 +162,7 @@ func TestSyncWhitelisted(t *testing.T) {
 func TestSyncOutOfRangeAddrIsBug(t *testing.T) {
 	img, si := syncImage(t)
 	si.Addr = 1 << 40
-	res := Sync(factoryOf(func(*rt.Thread) error { return nil }), img, si, Options{})
+	res := Sync(factoryOf(func(*rt.Thread) error { return nil }), pmem.AdversarialState(img), si, Options{})
 	if res.Status != core.StatusBug {
 		t.Fatalf("status = %v, want bug", res.Status)
 	}
@@ -162,14 +177,188 @@ func TestExternalInconsistencyIsAlwaysBug(t *testing.T) {
 		th.Persist(512, 8)
 		return nil
 	})
-	res := Inconsistency(f, img, in, Options{})
+	res := Inconsistency(f, pmem.AdversarialState(img), in, Options{})
 	if res.Status != core.StatusBug {
 		t.Fatalf("external effect must be a bug, got %v", res.Status)
 	}
 	// Unless whitelisted.
 	in.Stack = []string{"proto.go:9 checksummedReply"}
-	res = Inconsistency(f, img, in, Options{Whitelist: core.NewWhitelist("checksummedReply")})
+	res = Inconsistency(f, pmem.AdversarialState(img), in, Options{Whitelist: core.NewWhitelist("checksummedReply")})
 	if res.Status != core.StatusWhitelistedFP {
 		t.Fatalf("whitelist must still apply, got %v", res.Status)
+	}
+}
+
+// --- multi-crash-state aggregation ---
+
+// TestMultiStateAnyFailureIsBug builds a two-state list where recovery passes
+// on the adversarial image but hangs on a second state with a held lock: the
+// finding-level verdict must be bug, with both rows in the table.
+func TestMultiStateAnyFailureIsBug(t *testing.T) {
+	img, in := sideEffectImage(t)
+	locked := append([]byte(nil), img...)
+	locked[128] = 1
+	states := []pmem.CrashState{
+		{Name: pmem.StateSideEffect, HasSideEffect: true, Img: img},
+		{Name: "pending-line@0x80", HasSideEffect: true, Img: locked},
+	}
+	f := factoryOf(func(th *rt.Thread) error {
+		th.SpinLock(128) // hangs only in the locked state
+		th.SpinUnlock(128)
+		th.Store64(512, 0, taint.None, taint.None) // fix the side effect
+		th.Persist(512, 8)
+		return nil
+	})
+	res := Inconsistency(f, states, in, Options{HangTimeout: 20 * time.Millisecond})
+	if res.Status != core.StatusBug || !res.RecoveryHung {
+		t.Fatalf("res = %+v, want hung bug", res)
+	}
+	if len(res.States) != 2 {
+		t.Fatalf("got %d state rows, want 2", len(res.States))
+	}
+	if res.States[0].Status != core.StatusValidatedFP {
+		t.Fatalf("adversarial state = %v, want validated FP", res.States[0].Status)
+	}
+	if res.States[1].Status != core.StatusBug || !res.States[1].RecoveryHung {
+		t.Fatalf("locked state = %+v, want hung bug", res.States[1])
+	}
+}
+
+// TestBaselineStateSkipsOverwriteOracle: in the persisted-only baseline the
+// side effect never reached PM, so a clean recovery that overwrites nothing
+// must still pass that state.
+func TestBaselineStateSkipsOverwriteOracle(t *testing.T) {
+	img, in := sideEffectImage(t)
+	baseline := make([]byte, len(img)) // side effect absent
+	states := []pmem.CrashState{{Name: pmem.StateBaseline, Img: baseline}}
+	res := Inconsistency(factoryOf(func(*rt.Thread) error { return nil }), states, in, Options{})
+	if res.Status != core.StatusValidatedFP {
+		t.Fatalf("baseline-only validation = %v, want validated FP", res.Status)
+	}
+}
+
+// --- watchdog hang paths ---
+
+// waitGoroutines polls until the goroutine count drops back to at most base,
+// failing the test if it never does: the watchdog must not leak goroutines.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestUninstrumentedSpinRecoveryIsWallTimeoutBug is the acceptance scenario:
+// a recovery spinning in a plain Go loop — invisible to the spin-lock hang
+// detector — must be classified as a hung bug within WallTimeout plus
+// scheduling slack, not wedge the caller forever (it deadlocks without the
+// watchdog). The loop checks a stop flag so the abandoned goroutine can exit
+// and the leak assertion can run.
+func TestUninstrumentedSpinRecoveryIsWallTimeoutBug(t *testing.T) {
+	img, in := sideEffectImage(t)
+	var stop atomic.Bool
+	base := runtime.NumGoroutine()
+	f := factoryOf(func(*rt.Thread) error {
+		for !stop.Load() {
+		}
+		return nil
+	})
+	start := time.Now()
+	res := Inconsistency(f, pmem.AdversarialState(img), in, Options{WallTimeout: 100 * time.Millisecond})
+	elapsed := time.Since(start)
+	if res.Status != core.StatusBug || !res.RecoveryHung {
+		t.Fatalf("res = %+v, want hung bug", res)
+	}
+	if !res.States[0].WallTimeout {
+		t.Fatalf("state = %+v, want wall-timeout hang", res.States[0])
+	}
+	if res.RecoveryErr == nil || !strings.Contains(res.RecoveryErr.Error(), "wall timeout") {
+		t.Fatalf("err = %v, want wall-timeout error", res.RecoveryErr)
+	}
+	if elapsed > 1100*time.Millisecond {
+		t.Fatalf("verdict took %s, want within WallTimeout+1s", elapsed)
+	}
+	stop.Store(true)
+	waitGoroutines(t, base)
+}
+
+// TestRecoveryPanicIsBug: a panicking recovery is a failed recovery, reported
+// with the panic message, without crashing the campaign.
+func TestRecoveryPanicIsBug(t *testing.T) {
+	img, in := sideEffectImage(t)
+	f := factoryOf(func(*rt.Thread) error { panic("recovery exploded") })
+	res := Inconsistency(f, pmem.AdversarialState(img), in, Options{})
+	if res.Status != core.StatusBug || res.RecoveryHung {
+		t.Fatalf("res = %+v, want non-hang bug", res)
+	}
+	if res.RecoveryErr == nil || !strings.Contains(res.RecoveryErr.Error(), "recovery exploded") {
+		t.Fatalf("err = %v, want panic message", res.RecoveryErr)
+	}
+}
+
+// TestSleepExceedingWallTimeoutIsBug: recovery sleeping past WallTimeout (but
+// far below HangTimeout, so the spin detector never fires) is a watchdog hang.
+func TestSleepExceedingWallTimeoutIsBug(t *testing.T) {
+	img, in := sideEffectImage(t)
+	base := runtime.NumGoroutine()
+	f := factoryOf(func(*rt.Thread) error {
+		time.Sleep(300 * time.Millisecond)
+		return nil
+	})
+	res := Inconsistency(f, pmem.AdversarialState(img), in,
+		Options{WallTimeout: 50 * time.Millisecond, HangTimeout: time.Second})
+	if res.Status != core.StatusBug || !res.RecoveryHung || !res.States[0].WallTimeout {
+		t.Fatalf("res = %+v, want wall-timeout bug", res)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestInstrumentedLoopCancelledAfterWallTimeout: a recovery looping through
+// instrumented stores is abandoned at the deadline and then actually stopped
+// by the environment's cancellation hook — the goroutine exits via
+// CancelError instead of mutating its pool forever.
+func TestInstrumentedLoopCancelledAfterWallTimeout(t *testing.T) {
+	img, in := sideEffectImage(t)
+	base := runtime.NumGoroutine()
+	f := factoryOf(func(th *rt.Thread) error {
+		for {
+			th.Store64(256, 1, taint.None, taint.None)
+		}
+	})
+	res := Inconsistency(f, pmem.AdversarialState(img), in,
+		Options{WallTimeout: 100 * time.Millisecond, HangTimeout: time.Minute})
+	if res.Status != core.StatusBug || !res.RecoveryHung || !res.States[0].WallTimeout {
+		t.Fatalf("res = %+v, want wall-timeout bug", res)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestDefaultHangTimeoutMatchesRuntime pins the satellite fix: validation
+// inherits the runtime's shared spin-lock default instead of a private 100ms.
+func TestDefaultHangTimeoutMatchesRuntime(t *testing.T) {
+	img, si := syncImage(t)
+	// A recovery that spins just under the runtime default must complete:
+	// with the old private 100ms default it would be declared hung.
+	f := factoryOf(func(th *rt.Thread) error {
+		time.Sleep(rt.DefaultHangTimeout / 2)
+		th.SpinLock(192) // free line: acquires immediately
+		th.SpinUnlock(192)
+		th.Store64(128, 0, taint.None, taint.None)
+		th.Persist(128, 8)
+		return nil
+	})
+	res := Sync(f, pmem.AdversarialState(img), si, Options{})
+	if res.RecoveryHung {
+		t.Fatalf("res = %+v: default hang timeout shorter than rt.DefaultHangTimeout", res)
+	}
+	if res.Status != core.StatusValidatedFP {
+		t.Fatalf("status = %v, want validated FP", res.Status)
 	}
 }

@@ -138,6 +138,38 @@ func WithHTTPAddr(addr string) CampaignOption {
 	return func(c *campaignConfig) { c.httpAddr = addr }
 }
 
+// WithMaxCrashStates caps the crash states enumerated and validated per
+// finding. The default (1) reproduces the paper's single-adversarial-image
+// validation; higher values add the persisted-only baseline and one state
+// per flushed-but-unfenced cache line, and a finding is a bug if any
+// enumerated state fails recovery.
+func WithMaxCrashStates(n int) CampaignOption {
+	return func(c *campaignConfig) { c.opts.MaxCrashStates = n }
+}
+
+// WithValidationWorkers sizes the asynchronous post-failure validation pool
+// (default 2): findings queue to it instead of stalling the fuzzing workers
+// during recovery runs.
+func WithValidationWorkers(n int) CampaignOption {
+	return func(c *campaignConfig) { c.opts.ValidationWorkers = n }
+}
+
+// WithValidationWallTimeout bounds each recovery run's wall-clock time in
+// post-failure validation. Recovery exceeding it — an uninstrumented spin, a
+// sleep, a runaway loop the spin-lock hang detector cannot see — is abandoned
+// and judged a bug with RecoveryHung.
+func WithValidationWallTimeout(d time.Duration) CampaignOption {
+	return func(c *campaignConfig) { c.opts.ValidationWallTimeout = d }
+}
+
+// WithInlineValidation validates findings synchronously on the fuzzing worker
+// that discovered them instead of the asynchronous pool, keeping the event
+// stream deterministic for single-worker campaigns (at the cost of stalling
+// the worker during recovery runs).
+func WithInlineValidation() CampaignOption {
+	return func(c *campaignConfig) { c.opts.InlineValidation = true }
+}
+
 // WithArtifacts writes a forensic bundle — bug report with taint lineage,
 // finding seed, interleaving schedule, PM access trace and dirty-word diff —
 // into a numbered subdirectory of dir for every confirmed bug. Bundles
