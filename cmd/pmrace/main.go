@@ -67,6 +67,7 @@ func run() int {
 		progress  = flag.Bool("progress", false, "render a 1 Hz status line while fuzzing")
 		verbose   = flag.Bool("v", false, "print full per-inconsistency reports")
 
+		aliasHints     = flag.String("alias-hints", "", "pmvet alias-pair report (pmvet -alias out.json) used to prioritize the interleaving queue")
 		maxCrashStates = flag.Int("max-crash-states", 1, "crash states validated per finding (1 = the paper's single adversarial image)")
 		valWorkers     = flag.Int("validate-workers", 2, "asynchronous post-failure validation workers")
 		valWallTimeout = flag.Duration("validate-wall-timeout", 2*time.Second, "wall-clock bound per recovery run in post-failure validation")
@@ -116,6 +117,14 @@ func run() int {
 		pmrace.WithMaxCrashStates(*maxCrashStates),
 		pmrace.WithValidationWorkers(*valWorkers),
 		pmrace.WithValidationWallTimeout(*valWallTimeout),
+	}
+	if *aliasHints != "" {
+		hints, err := pmrace.LoadAliasHints(*aliasHints)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmrace: %v\n", err)
+			return 2
+		}
+		options = append(options, pmrace.WithAliasHints(hints))
 	}
 	if *noCP {
 		options = append(options, pmrace.WithoutCheckpoints())

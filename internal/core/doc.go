@@ -1,0 +1,18 @@
+// Package core implements PMRace's PM inconsistency checkers (paper §4.3)
+// and the bug bookkeeping around them. The detector consumes instrumented PM
+// accesses delivered by the runtime (internal/rt) and identifies:
+//
+//   - PM Inter-/Intra-thread Inconsistency Candidates: a thread reads data
+//     that is visible in the cache but not persisted (Definition 1);
+//   - PM Inter-/Intra-thread Inconsistencies: a durable side effect — a PM
+//     store whose value or target address derives, via taint analysis, from
+//     still-non-persisted data (Definition 2);
+//   - PM Synchronization Inconsistencies: updates of annotated persistent
+//     synchronization variables such as bucket or segment locks
+//     (Definition 3).
+//
+// Detected inconsistencies are deduplicated into unique bugs the way the
+// paper counts them (§6.2): inconsistencies are grouped by the store
+// instruction that wrote the non-persisted data, and synchronization
+// inconsistencies by the annotated variable.
+package core

@@ -1,0 +1,7 @@
+// Package cover implements the two coverage metrics PMRace feeds back into
+// fuzzing (paper §4.2.1): conventional branch (edge) coverage and the novel
+// PM alias pair coverage. A PM alias pair is two back-to-back PM accesses to
+// the same address by different threads, identified by the instruction site
+// and persistency state of each access. Both metrics are kept in fixed-size
+// bitmaps, mirroring AFL-style shared-memory coverage maps.
+package cover

@@ -1,0 +1,7 @@
+// Package fuzz implements PMRace's PM-aware coverage-guided fuzzer (paper
+// §4): the operation mutator generating structured inputs (§4.5), the
+// campaign executor that runs seeds against a target under an interleaving
+// strategy, the three-tier exploration loop (§4.2.3), in-memory pool
+// checkpoints replacing AFL++'s fork server (§5), post-failure validation
+// dispatch (§4.4), and result aggregation for the evaluation harness.
+package fuzz

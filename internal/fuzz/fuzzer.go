@@ -118,6 +118,10 @@ type Options struct {
 	// event stream deterministic for a single-worker campaign, at the cost
 	// of stalling that worker during recovery runs.
 	InlineValidation bool
+	// AliasHints seeds the interleaving queue with statically inferred
+	// load/store alias pairs from `pmvet -alias`; entries covering a hint
+	// are explored before any purely dynamically prioritized entry.
+	AliasHints []AliasHint
 	// Sched tunes the PM-aware scheduling algorithm.
 	Sched sched.Config
 }
@@ -570,7 +574,9 @@ func (f *Fuzzer) pickSeed(rng *rand.Rand) *workload.Seed {
 func (f *Fuzzer) buildQueue() *sched.Queue {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return sched.BuildQueue(f.stats)
+	q := sched.BuildQueue(f.stats)
+	f.applyAliasHints(q)
+	return q
 }
 
 func (f *Fuzzer) skipFor(addr pmem.Addr) int {

@@ -1,0 +1,76 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/pmrace-go/pmrace/internal/sched"
+	"github.com/pmrace-go/pmrace/internal/site"
+)
+
+// AliasHint is one statically inferred load/store site pair on a shared PM
+// object, produced by `pmvet -alias`. Sites are in the runtime site-ID
+// format ("pclht.go:333"). When a queue entry's observed sites cover both
+// ends of a hint, the entry's priority is boosted above every purely
+// dynamic priority: static analysis has flagged the pair as a candidate
+// inter-thread alias before any dynamic evidence accumulates.
+type AliasHint struct {
+	Load  string `json:"load_site"`
+	Store string `json:"store_site"`
+}
+
+// aliasReportFile mirrors the subset of the pmvet alias-pair JSON schema
+// (lint.AliasReport, version 1) the fuzzer consumes. Decoded structurally
+// rather than by importing internal/lint so the fuzzer does not link the
+// static-analysis stack.
+type aliasReportFile struct {
+	Version int         `json:"version"`
+	Pairs   []AliasHint `json:"pairs"`
+}
+
+// LoadAliasHints reads a pmvet alias-pair report (`pmvet -alias out.json`)
+// and returns its pairs as scheduler hints.
+func LoadAliasHints(path string) ([]AliasHint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: alias hints: %w", err)
+	}
+	var rep aliasReportFile
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("fuzz: alias hints %s: %w", path, err)
+	}
+	if rep.Version != 1 {
+		return nil, fmt.Errorf("fuzz: alias hints %s: unsupported schema version %d", path, rep.Version)
+	}
+	return rep.Pairs, nil
+}
+
+// aliasBoost lifts a statically hinted entry above every dynamic priority
+// (priorities are access counts, bounded far below this).
+const aliasBoost = 1 << 20
+
+// applyAliasHints boosts queue entries whose observed load and store sites
+// cover both ends of a static alias pair.
+func (f *Fuzzer) applyAliasHints(q *sched.Queue) {
+	hints := f.opts.AliasHints
+	if len(hints) == 0 {
+		return
+	}
+	q.Reprioritize(func(e *sched.Entry) int {
+		loads := make(map[string]bool, len(e.LoadSites))
+		for id := range e.LoadSites {
+			loads[site.Lookup(id).String()] = true
+		}
+		stores := make(map[string]bool, len(e.StoreSites))
+		for id := range e.StoreSites {
+			stores[site.Lookup(id).String()] = true
+		}
+		for _, h := range hints {
+			if loads[h.Load] && stores[h.Store] {
+				return aliasBoost
+			}
+		}
+		return 0
+	})
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// AliasReport is the static alias-pair report pmvet emits for the fuzzer.
+// Each pair is a (load site, store site) on the same PM object, inferred
+// syntactically: two hook calls whose normalized address expressions render
+// identically address the same object. This is the static counterpart of
+// the runtime's dynamic alias tracking — the fuzzer uses the pairs as seed
+// prioritization hints for the PM-aware scheduler before any dynamic
+// coverage exists (see DESIGN §11 for the schema contract).
+type AliasReport struct {
+	// Version is the schema version; consumers must reject versions they
+	// do not understand.
+	Version int `json:"version"`
+	// Packages lists the analyzed package import paths.
+	Packages []string `json:"packages"`
+	// Pairs is sorted by Object, LoadSite, StoreSite.
+	Pairs []AliasPair `json:"pairs"`
+}
+
+// AliasPair is one statically inferred load/store pair on a shared object.
+// Sites use the runtime site-ID format ("pclht.go:333"), the join key with
+// dynamic scheduler entries.
+type AliasPair struct {
+	// Object is the normalized source rendering of the shared address
+	// expression, e.g. "h.root + fldItemCount". Informational: consumers
+	// key on the sites.
+	Object string `json:"object"`
+	// LoadSite / StoreSite are the two access positions in site-ID format.
+	LoadSite  string `json:"load_site"`
+	StoreSite string `json:"store_site"`
+	// LoadFunc / StoreFunc name the enclosing functions, for report
+	// readability.
+	LoadFunc  string `json:"load_func"`
+	StoreFunc string `json:"store_func"`
+}
+
+// aliasAccess is one load or store hook call keyed by its address
+// expression.
+type aliasAccess struct {
+	object string
+	site   string
+	fn     string
+}
+
+// BuildAliasReport scans every package for load and store hook calls and
+// pairs those whose full address expressions render identically. Pairing is
+// per package (the address vocabulary — field offsets, root pointers — is
+// package-local) and uses the complete normalized expression rather than
+// the base object, trading recall for precision: a spurious pair only skews
+// scheduler priorities, but thousands of base-level pairs would drown the
+// real ones.
+func BuildAliasReport(pkgs []*Package) *AliasReport {
+	rep := &AliasReport{Version: 1}
+	seen := map[AliasPair]bool{}
+	for _, pkg := range pkgs {
+		rep.Packages = append(rep.Packages, pkg.PkgPath)
+		var loads, stores []aliasAccess
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				for _, h := range hookCallsIn(pkg.Info, fn) {
+					acc := aliasAccess{
+						object: exprString(h.addr),
+						site:   sitePos(pkg.Fset.Position(h.pos)),
+						fn:     fn.Name.Name,
+					}
+					switch h.kind {
+					case hookLoad:
+						loads = append(loads, acc)
+					case hookStore, hookNTStore, hookCAS:
+						stores = append(stores, acc)
+					}
+				}
+			}
+		}
+		for _, ld := range loads {
+			for _, st := range stores {
+				if ld.object != st.object || ld.site == st.site {
+					continue
+				}
+				p := AliasPair{
+					Object:    ld.object,
+					LoadSite:  ld.site,
+					StoreSite: st.site,
+					LoadFunc:  ld.fn,
+					StoreFunc: st.fn,
+				}
+				if !seen[p] {
+					seen[p] = true
+					rep.Pairs = append(rep.Pairs, p)
+				}
+			}
+		}
+	}
+	sort.Strings(rep.Packages)
+	sort.Slice(rep.Pairs, func(i, j int) bool {
+		a, b := rep.Pairs[i], rep.Pairs[j]
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.LoadSite != b.LoadSite {
+			return a.LoadSite < b.LoadSite
+		}
+		return a.StoreSite < b.StoreSite
+	})
+	return rep
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one pmvet check. The type deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer (Name, Doc, Run over a Pass):
+// this build environment is offline and x/tools is not vendored, so the
+// repo carries this minimal structural clone instead. Migrating an
+// analyzer to the upstream framework is a mechanical change of import
+// path plus a driver swap; the Run functions themselves only consume
+// go/ast and go/types.
+type Analyzer struct {
+	// Name identifies the analyzer in reports, -include/-exclude driver
+	// flags and //pmvet:ignore suppression comments. Stable; treated as
+	// part of the output format.
+	Name string
+	// Doc is the one-paragraph help text shown by `pmvet -list`.
+	Doc string
+	// Run analyzes one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzed package through an Analyzer.Run, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records one diagnostic. Never nil during Run.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position, mirroring
+// analysis.Diagnostic.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic: the analyzer that produced it plus the
+// file:line:col position, ready for printing or JSON encoding. Positions use
+// the base file name (like site.Info) so they are comparable with the
+// runtime's site-ID strings.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // base name, e.g. "pclht.go"
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// Site renders the finding's position in the runtime site-ID format
+// ("pclht.go:333"), the join key between static findings and dynamic
+// coverage.
+func (f Finding) Site() string { return fmt.Sprintf("%s:%d", f.File, f.Line) }
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// FencePairing reports two persistency-ordering mistakes around the
+// non-temporal and flush primitives:
+//
+//  1. an NTStore64/NTStoreBytes with no subsequent Fence (or Persist) in
+//     the same function — NT stores bypass the cache and are durable
+//     immediately, but without a fence their ordering against later stores
+//     is unconstrained, which is exactly the window the runtime's
+//     crash-image generator explores;
+//  2. a duplicate Flush of the same object with no intervening store or
+//     fence — the second flush is dead and usually indicates a
+//     copy-paste protocol error (the paper's "extra flush" performance
+//     bug class).
+var FencePairing = &Analyzer{
+	Name: "fence-pairing",
+	Doc: "reports NT stores with no subsequent Fence in the function, and " +
+		"duplicate flushes of the same object with no intervening store or " +
+		"fence",
+	Run: runFencePairing,
+}
+
+func runFencePairing(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkFencePairing(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFencePairing(pass *Pass, fn *ast.FuncDecl) {
+	calls := hookCallsIn(pass.TypesInfo, fn)
+
+	// NT store with no later fence.
+	for i, h := range calls {
+		if h.kind != hookNTStore {
+			continue
+		}
+		fenced := false
+		for j := i + 1; j < len(calls); j++ {
+			if k := calls[j].kind; k == hookFence || k == hookPersist {
+				fenced = true
+				break
+			}
+		}
+		if !fenced {
+			pass.Reportf(h.pos,
+				"%s to %s has no subsequent Fence in the function; NT store ordering is unconstrained until a fence",
+				h.name, exprString(h.addr))
+		}
+	}
+
+	// Duplicate flush: a second Flush of the same base object while the
+	// first is still "live" (no intervening fence or store to that object).
+	live := map[string]bool{}
+	for _, h := range calls {
+		switch h.kind {
+		case hookFlush:
+			base := baseString(pass.TypesInfo, h.addr)
+			if live[base] {
+				pass.Reportf(h.pos,
+					"duplicate Flush of %s with no intervening store or fence",
+					exprString(h.addr))
+			}
+			live[base] = true
+		case hookFence:
+			live = map[string]bool{}
+		case hookPersist:
+			// Persist fences, clearing all pending flushes.
+			live = map[string]bool{}
+		case hookStore, hookNTStore, hookCAS:
+			delete(live, baseString(pass.TypesInfo, h.addr))
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Import-path suffixes of the two instrumentation-bearing packages. Matched
+// by suffix so the analyzers also work on forks or vendored copies of the
+// module with a different module path.
+const (
+	rtPathSuffix   = "internal/rt"
+	pmemPathSuffix = "internal/pmem"
+)
+
+// hookKind classifies one rt.Thread hook call for the analyzers.
+type hookKind int
+
+const (
+	hookNone    hookKind = iota
+	hookLoad             // Load64, LoadBytes
+	hookStore            // Store64, StoreBytes (cached stores: need flush+fence)
+	hookNTStore          // NTStore64, NTStoreBytes (durable: need trailing fence)
+	hookCAS              // CAS64
+	hookFlush            // Flush (needs a later fence)
+	hookPersist          // Persist (flush+fence fused)
+	hookFence            // Fence
+	hookLock             // SpinLock
+	hookUnlock           // SpinUnlock
+)
+
+// rtHookKinds maps rt.Thread method names to their classification.
+var rtHookKinds = map[string]hookKind{
+	"Load64":       hookLoad,
+	"LoadBytes":    hookLoad,
+	"Store64":      hookStore,
+	"StoreBytes":   hookStore,
+	"NTStore64":    hookNTStore,
+	"NTStoreBytes": hookNTStore,
+	"CAS64":        hookCAS,
+	"Flush":        hookFlush,
+	"Persist":      hookPersist,
+	"Fence":        hookFence,
+	"SpinLock":     hookLock,
+	"SpinUnlock":   hookUnlock,
+}
+
+// hookCall is one classified rt.Thread hook call with its interesting
+// arguments picked out by role.
+type hookCall struct {
+	kind hookKind
+	name string // method name
+	call *ast.CallExpr
+	pos  token.Pos
+
+	addr    ast.Expr // PM address argument (nil for Fence)
+	length  ast.Expr // byte count (Flush/Persist/LoadBytes only)
+	val     ast.Expr // stored value (stores and CAS new-value)
+	valLab  ast.Expr // taint label of the stored value
+	addrLab ast.Expr // taint label of the address computation
+}
+
+// methodRecv resolves the receiver of a method call expression, returning
+// the defining package path and type name ("", "" for non-methods).
+func methodRecv(info *types.Info, sel *ast.SelectorExpr) (pkgPath, typeName, method string) {
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), fn.Name()
+}
+
+// classifyRTHook classifies a call expression as an rt.Thread hook call,
+// returning hookNone for everything else.
+func classifyRTHook(info *types.Info, call *ast.CallExpr) hookCall {
+	none := hookCall{kind: hookNone}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return none
+	}
+	pkgPath, typeName, method := methodRecv(info, sel)
+	if typeName != "Thread" || !strings.HasSuffix(pkgPath, rtPathSuffix) {
+		return none
+	}
+	kind, ok := rtHookKinds[method]
+	if !ok {
+		return none
+	}
+	h := hookCall{kind: kind, name: method, call: call, pos: call.Pos()}
+	arg := func(i int) ast.Expr {
+		if i < len(call.Args) {
+			return call.Args[i]
+		}
+		return nil
+	}
+	switch kind {
+	case hookLoad:
+		h.addr = arg(0)
+		if method == "LoadBytes" {
+			h.length = arg(1)
+		}
+	case hookStore, hookNTStore:
+		h.addr, h.val, h.valLab, h.addrLab = arg(0), arg(1), arg(2), arg(3)
+	case hookCAS:
+		// CAS64(addr, old, new, valLab, addrLab): new is the stored value.
+		h.addr, h.val, h.valLab, h.addrLab = arg(0), arg(2), arg(3), arg(4)
+	case hookFlush, hookPersist:
+		h.addr, h.length = arg(0), arg(1)
+	case hookLock, hookUnlock:
+		h.addr = arg(0)
+	}
+	return h
+}
+
+// isRawPoolAccess reports whether call is a direct pmem.Pool data or
+// persistency operation — the uninstrumented layer underneath the rt hooks.
+var rawPoolMethods = map[string]bool{
+	"Load64":            true,
+	"LoadBytes":         true,
+	"Store64":           true,
+	"StoreBytes":        true,
+	"NTStore64":         true,
+	"NTStoreBytes":      true,
+	"CAS64":             true,
+	"Flush":             true,
+	"Fence":             true,
+	"PersistNow":        true,
+	"SetShadowLabel":    true,
+	"InstrLoad64":       true,
+	"InstrLoadBytes":    true,
+	"InstrStore64":      true,
+	"InstrStoreBytes":   true,
+	"InstrNTStore64":    true,
+	"InstrNTStoreBytes": true,
+	"InstrCAS64":        true,
+}
+
+func isRawPoolAccess(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkgPath, typeName, method := methodRecv(info, sel)
+	if typeName != "Pool" || !strings.HasSuffix(pkgPath, pmemPathSuffix) {
+		return "", false
+	}
+	return method, rawPoolMethods[method]
+}
+
+// hookCallsIn collects every rt.Thread hook call inside fn in source order.
+// Source order is a deliberate approximation of execution order: the hook
+// protocol under analysis (store → flush → fence) is written as straight-line
+// sequences in instrumented code, and the approximation's failure modes are
+// documented in DESIGN.md §11.
+func hookCallsIn(info *types.Info, fn *ast.FuncDecl) []hookCall {
+	if fn.Body == nil {
+		return nil
+	}
+	var out []hookCall
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if h := classifyRTHook(info, call); h.kind != hookNone {
+			out = append(out, h)
+		}
+		return true
+	})
+	return out
+}
+
+// exprString renders an expression in normalized single-spaced Go syntax,
+// the key used to compare address expressions across call sites.
+func exprString(e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	return types.ExprString(e)
+}
+
+// baseExpr peels an address expression down to its base object: parens are
+// unwrapped, additive offset chains keep their leftmost operand, and
+// single-argument type conversions (pmem.Addr(x)) are unwrapped to x. The
+// result identifies the PM object a store or flush addresses, so that
+// `Persist(root, rootSize)` is recognized as covering `root+fldHtOff`.
+func baseExpr(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD || x.Op == token.SUB {
+				e = x.X
+				continue
+			}
+			return e
+		case *ast.CallExpr:
+			// Unwrap type conversions only.
+			if len(x.Args) == 1 && info != nil {
+				if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+					e = x.Args[0]
+					continue
+				}
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// baseString is baseExpr rendered for comparison.
+func baseString(info *types.Info, e ast.Expr) string {
+	return exprString(baseExpr(info, e))
+}
+
+// identsIn returns the used objects of every identifier in e.
+func identsIn(info *types.Info, e ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isTaintNone reports whether e is the literal selector taint.None (any
+// package named taint).
+func isTaintNone(info *types.Info, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "None" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Name() == "taint"
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package, the unit every
+// analyzer consumes. It corresponds to go/packages.Package restricted to the
+// fields the analyzers need.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages without network access: syntax
+// comes from go/parser and types from the stdlib source importer, which
+// type-checks dependencies from source inside the module (and GOROOT). One
+// Loader shares a FileSet and an importer across Load calls so dependency
+// packages are checked once.
+//
+// The source importer resolves module import paths through the go command,
+// which consults the module of the process working directory — callers must
+// run from inside the repository (cmd/pmvet enforces this by chdir-ing to
+// the module root).
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader creates a loader with a fresh FileSet.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// goListPkg is the subset of `go list -json` output the loader consumes.
+type goListPkg struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+// Load resolves go-list patterns (e.g. "./internal/targets/...") to
+// packages and type-checks each. Test files are excluded: the analyzers
+// check instrumented production code, and _test.go files routinely poke at
+// internals in ways the rules are not written for.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var gp goListPkg
+		if err := dec.Decode(&gp); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if len(gp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, 0, len(gp.GoFiles))
+		for _, f := range gp.GoFiles {
+			files = append(files, filepath.Join(gp.Dir, f))
+		}
+		pkg, err := l.check(gp.ImportPath, gp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// LoadDir loads every non-test .go file of one directory as a package with
+// the given import path. Fixture packages live under testdata/ (invisible
+// to the go tool, so `go build ./...` never compiles their seeded
+// violations) and are loaded through this entry point.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %v", err)
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(pkgPath, dir, files)
+}
+
+// check parses and type-checks one package from explicit file paths.
+func (l *Loader) check(pkgPath, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(pkgPath, l.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   syntax,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

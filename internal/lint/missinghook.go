@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// MissingHook reports direct pmem.Pool data and persistency operations in
+// code that should go through the rt.Thread hook API. A raw Pool access is
+// invisible to every dynamic detector — no site ID, no taint, no
+// interleaving point, no alias coverage — so the access (and any bug on it)
+// silently drops out of the detectable set. This is the Go-side equivalent
+// of a PM store the paper's LLVM pass failed to instrument.
+//
+// The runtime packages (internal/rt, internal/pmem, internal/core, ...)
+// legitimately layer on the raw Pool API; the cmd/pmvet driver therefore
+// runs this analyzer over workload code (internal/targets/..., examples/...)
+// only.
+var MissingHook = &Analyzer{
+	Name: "missing-hook",
+	Doc: "reports raw pmem.Pool loads/stores/flushes that bypass the " +
+		"rt.Thread hook API and are therefore invisible to the dynamic " +
+		"detectors",
+	Run: runMissingHook,
+}
+
+func runMissingHook(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if method, raw := isRawPoolAccess(pass.TypesInfo, call); raw {
+				pass.Reportf(call.Pos(),
+					"raw pmem.Pool.%s bypasses the rt.Thread hook API; the access is invisible to PM race/crash detection",
+					method)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzers returns the full pmvet suite in report order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{FencePairing, MissingHook, TaintGap, UnflushedStore}
+}
+
+// ByName resolves a comma-separated analyzer name list against the
+// registry, mirroring gosec's -include/-exclude rule selection.
+func ByName(names string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q (have %s)", n, analyzerNames(all))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func analyzerNames(as []*Analyzer) string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// ignoreDirective is the comment marker suppressing findings, modelled on
+// gosec's #nosec: `//pmvet:ignore <analyzer>[,<analyzer>...] -- reason`.
+// A bare `//pmvet:ignore` suppresses every analyzer. The directive covers
+// its own source line and the next line, so it works both as a trailing
+// comment and as a comment line above the offending statement.
+const ignoreDirective = "//pmvet:ignore"
+
+// suppression maps file base name → line → set of suppressed analyzer
+// names ("" key = all analyzers).
+type suppression map[string]map[int]map[string]bool
+
+func (s suppression) add(file string, line int, names []string) {
+	lines, ok := s[file]
+	if !ok {
+		lines = map[int]map[string]bool{}
+		s[file] = lines
+	}
+	set, ok := lines[line]
+	if !ok {
+		set = map[string]bool{}
+		lines[line] = set
+	}
+	if len(names) == 0 {
+		set[""] = true
+		return
+	}
+	for _, n := range names {
+		set[n] = true
+	}
+}
+
+func (s suppression) matches(file string, line int, analyzer string) bool {
+	set, ok := s[file][line]
+	if !ok {
+		return false
+	}
+	return set[""] || set[analyzer]
+}
+
+// collectSuppressions scans a package's comments for ignore directives.
+func collectSuppressions(pkg *Package) suppression {
+	sup := suppression{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignoreDirective)
+				// Strip the justification after " -- ".
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				var names []string
+				for _, n := range strings.Split(rest, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names = append(names, n)
+					}
+				}
+				p := pkg.Fset.Position(c.Pos())
+				base := filepath.Base(p.Filename)
+				sup.add(base, p.Line, names)
+				sup.add(base, p.Line+1, names)
+			}
+		}
+	}
+	return sup
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by file, line, column, analyzer. Suppressed findings are
+// dropped; analyzer errors abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				p := pkg.Fset.Position(d.Pos)
+				f := Finding{
+					Analyzer: a.Name,
+					File:     filepath.Base(p.Filename),
+					Line:     p.Line,
+					Col:      p.Column,
+					Message:  d.Message,
+				}
+				if sup.matches(f.File, f.Line, f.Analyzer) {
+					return
+				}
+				findings = append(findings, f)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// sitePos renders a token position in the runtime's site-ID format
+// ("pclht.go:333").
+func sitePos(p token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TaintGap reports hand-propagation gaps in the DRAM-side taint plumbing:
+// a value read through Thread.Load64/LoadBytes/CAS64 whose taint label was
+// discarded (assigned to _), flowing into a later store that passes the
+// literal taint.None where that value's (or address's) label belongs.
+//
+// The runtime's cross-thread "unflushed data passed to other threads"
+// detector (DESIGN §5) depends entirely on these hand-threaded labels; a
+// dropped label at one load silently breaks the taint chain for every
+// downstream store, exactly like a missed propagation edge in the paper's
+// DRAM shadow propagation.
+//
+// Recovery functions are exempt: recovery runs single-threaded over
+// already-persisted state, and dropping labels there is the idiomatic way
+// to mark recovered values clean.
+var TaintGap = &Analyzer{
+	Name: "taint-gap",
+	Doc: "reports Load-derived values reaching a Store with a literal " +
+		"taint.None label after the load's label was discarded, breaking " +
+		"the hand-propagated taint chain",
+	Run: runTaintGap,
+}
+
+func runTaintGap(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Recovery code reads persisted (clean) state; label dropping
+			// there is intentional.
+			if strings.Contains(fn.Name.Name, "Recover") || strings.HasPrefix(fn.Name.Name, "recover") {
+				continue
+			}
+			checkTaintGap(pass, fn)
+		}
+	}
+	return nil
+}
+
+// droppedLoad records where a label-dropping load defined (or redefined) a
+// value object.
+type droppedLoad struct {
+	loadSite string // "file.go:line" of the originating load
+}
+
+func checkTaintGap(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// dropped maps value objects whose taint label was discarded to the
+	// load that produced them. Built to a fixed point so that derived
+	// values (x := c + 1; y := x) inherit the dropped status.
+	dropped := map[types.Object]droppedLoad{}
+
+	lhsObj := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	mentionsDropped := func(e ast.Expr) (droppedLoad, bool) {
+		for _, obj := range identsIn(info, e) {
+			if d, ok := dropped[obj]; ok {
+				return d, true
+			}
+		}
+		return droppedLoad{}, false
+	}
+
+	// Pass 1 (to fixed point): seed from label-dropping loads, then
+	// propagate through assignments.
+	for iter := 0; iter < 8; iter++ {
+		changed := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// Tuple assignment from a single hook call: c, lab := t.Load64(a)
+			// or ok, old, lab := t.CAS64(...).
+			if len(as.Rhs) == 1 {
+				if call, isCall := as.Rhs[0].(*ast.CallExpr); isCall {
+					h := classifyRTHook(info, call)
+					valIdx, labIdx := -1, -1
+					switch h.kind {
+					case hookLoad:
+						valIdx, labIdx = 0, 1
+					case hookCAS:
+						valIdx, labIdx = 1, 2
+					}
+					if labIdx >= 0 && labIdx < len(as.Lhs) && isBlank(as.Lhs[labIdx]) {
+						if obj := lhsObj(as.Lhs[valIdx]); obj != nil {
+							if _, seen := dropped[obj]; !seen {
+								p := pass.Fset.Position(call.Pos())
+								dropped[obj] = droppedLoad{loadSite: sitePos(p)}
+								changed = true
+							}
+						}
+						return true
+					}
+					if h.kind != hookNone {
+						return true
+					}
+					// Tuple from a non-hook call: if any argument is
+					// dropped, conservatively drop all results.
+					if len(as.Lhs) > 1 {
+						if d, hit := mentionsDropped(call); hit {
+							for _, lhs := range as.Lhs {
+								if obj := lhsObj(lhs); obj != nil {
+									if _, seen := dropped[obj]; !seen {
+										dropped[obj] = d
+										changed = true
+									}
+								}
+							}
+						}
+						return true
+					}
+				}
+			}
+			// Parallel assignment: propagate per position.
+			if len(as.Lhs) == len(as.Rhs) {
+				for i := range as.Lhs {
+					d, hit := mentionsDropped(as.Rhs[i])
+					if !hit {
+						continue
+					}
+					if obj := lhsObj(as.Lhs[i]); obj != nil {
+						if _, seen := dropped[obj]; !seen {
+							dropped[obj] = d
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	if len(dropped) == 0 {
+		return
+	}
+
+	// Pass 2: stores passing literal taint.None for a dropped-derived
+	// value or address.
+	for _, h := range hookCallsIn(info, fn) {
+		switch h.kind {
+		case hookStore, hookNTStore, hookCAS:
+		default:
+			continue
+		}
+		if h.valLab != nil && isTaintNone(info, h.valLab) {
+			if d, hit := mentionsDropped(h.val); hit {
+				pass.Reportf(h.pos,
+					"%s value %s derives from the label-dropping load at %s but passes taint.None as its value label",
+					h.name, exprString(h.val), d.loadSite)
+			}
+		}
+		if h.addrLab != nil && isTaintNone(info, h.addrLab) {
+			if d, hit := mentionsDropped(h.addr); hit {
+				pass.Reportf(h.pos,
+					"%s address %s derives from the label-dropping load at %s but passes taint.None as its address label",
+					h.name, exprString(h.addr), d.loadSite)
+			}
+		}
+	}
+}

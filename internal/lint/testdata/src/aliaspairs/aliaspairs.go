@@ -1,0 +1,26 @@
+// Package aliaspairs exercises the static alias-pair report: reader and
+// writer touch the same object through identical address expressions.
+package aliaspairs
+
+import (
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/taint"
+)
+
+const fldCount = 16
+
+func reader(t *rt.Thread, root pmem.Addr) uint64 {
+	v, _ := t.Load64(root + fldCount)
+	return v
+}
+
+func writer(t *rt.Thread, root pmem.Addr) {
+	t.Store64(root+fldCount, 1, taint.None, taint.None)
+	t.Persist(root+fldCount, 8)
+}
+
+func unrelated(t *rt.Thread, other pmem.Addr) {
+	t.Store64(other+64, 2, taint.None, taint.None)
+	t.Persist(other+64, 8)
+}

@@ -1,0 +1,41 @@
+// Package fencepair seeds violations for the fence-pairing analyzer.
+package fencepair
+
+import (
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/taint"
+)
+
+func ntNoFence(t *rt.Thread, root pmem.Addr) {
+	t.NTStore64(root, 1, taint.None, taint.None) // want `NTStore64 to root has no subsequent Fence`
+}
+
+func ntFenced(t *rt.Thread, root pmem.Addr) {
+	t.NTStore64(root, 2, taint.None, taint.None)
+	t.Fence()
+}
+
+func doubleFlush(t *rt.Thread, root pmem.Addr) {
+	t.Store64(root+8, 3, taint.None, taint.None)
+	t.Flush(root+8, 8)
+	t.Flush(root+8, 8) // want `duplicate Flush of root \+ 8`
+	t.Fence()
+}
+
+func reflushAfterFence(t *rt.Thread, root pmem.Addr) {
+	t.Store64(root+16, 4, taint.None, taint.None)
+	t.Flush(root+16, 8)
+	t.Fence()
+	t.Store64(root+16, 5, taint.None, taint.None)
+	t.Flush(root+16, 8)
+	t.Fence()
+}
+
+func reflushAfterStore(t *rt.Thread, root pmem.Addr) {
+	t.Store64(root+24, 6, taint.None, taint.None)
+	t.Flush(root+24, 8)
+	t.Store64(root+24, 7, taint.None, taint.None)
+	t.Flush(root+24, 8)
+	t.Fence()
+}

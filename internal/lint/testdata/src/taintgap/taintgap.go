@@ -1,0 +1,40 @@
+// Package taintgap seeds violations for the taint-gap analyzer.
+package taintgap
+
+import (
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/taint"
+)
+
+func directGap(t *rt.Thread, root pmem.Addr) {
+	c, _ := t.Load64(root)
+	t.Store64(root, c+1, taint.None, taint.None) // want `value c \+ 1 derives from the label-dropping load at taintgap\.go:11`
+	t.Persist(root, 8)
+}
+
+func derivedGap(t *rt.Thread, root pmem.Addr) {
+	c, _ := t.Load64(root)
+	d := c * 2
+	t.Store64(root, d, taint.None, taint.None) // want `value d derives from the label-dropping load at taintgap\.go:17`
+	t.Persist(root, 8)
+}
+
+func addrGap(t *rt.Thread, root pmem.Addr) {
+	p, _ := t.Load64(root)
+	t.NTStore64(pmem.Addr(p)+8, 1, taint.None, taint.None) // want `address pmem\.Addr\(p\) \+ 8 derives from the label-dropping load at taintgap\.go:24`
+	t.Fence()
+}
+
+func propagated(t *rt.Thread, root pmem.Addr) {
+	c, lab := t.Load64(root)
+	t.Store64(root, c+1, lab, taint.None)
+	t.Persist(root, 8)
+}
+
+// Recover is exempt: recovery reads persisted, clean state.
+func Recover(t *rt.Thread, root pmem.Addr) {
+	c, _ := t.Load64(root)
+	t.Store64(root, c+1, taint.None, taint.None)
+	t.Persist(root, 8)
+}

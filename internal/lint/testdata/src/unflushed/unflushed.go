@@ -1,0 +1,48 @@
+// Package unflushed seeds violations for the unflushed-store analyzer.
+package unflushed
+
+import (
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/taint"
+)
+
+func neverFlushed(t *rt.Thread, root pmem.Addr) {
+	t.Store64(root+8, 1, taint.None, taint.None) // want `Store64 to root \+ 8 has no Flush/Persist before function exit`
+}
+
+func flushedNotFenced(t *rt.Thread, root pmem.Addr) {
+	t.Store64(root+16, 2, taint.None, taint.None) // want `Store64 to root \+ 16 is flushed but never fenced`
+	t.Flush(root+16, 8)
+}
+
+func storeBeforeUnlock(t *rt.Thread, root pmem.Addr) {
+	t.SpinLock(root)
+	t.Store64(root+24, 3, taint.None, taint.None) // want `Store64 to root \+ 24 is not flushed before SpinUnlock`
+	t.SpinUnlock(root)
+	t.Persist(root+24, 8)
+}
+
+func persisted(t *rt.Thread, root pmem.Addr) {
+	t.Store64(root+32, 4, taint.None, taint.None)
+	t.Persist(root+32, 8)
+}
+
+func flushedAndFenced(t *rt.Thread, root pmem.Addr) {
+	t.Store64(root+40, 5, taint.None, taint.None)
+	t.Flush(root+40, 8)
+	t.Fence()
+}
+
+// coveredByBase: a whole-object Persist covers stores at offsets of the
+// same base.
+func coveredByBase(t *rt.Thread, node pmem.Addr) {
+	t.Store64(node+8, 6, taint.None, taint.None)
+	t.Store64(node+16, 7, taint.None, taint.None)
+	t.Persist(node, 64)
+}
+
+func suppressed(t *rt.Thread, root pmem.Addr) {
+	//pmvet:ignore unflushed-store -- caller persists
+	t.Store64(root+48, 8, taint.None, taint.None)
+}

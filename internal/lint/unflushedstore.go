@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// UnflushedStore reports Thread.Store64/StoreBytes calls whose written
+// object has no subsequent Flush+Fence (or fused Persist) before the
+// function returns or releases a spinlock.
+//
+// The check is intraprocedural and flow-insensitive by design: instrumented
+// PM code in this repo writes its persistence protocol as straight-line
+// store → flush → fence sequences, so source order approximates execution
+// order. Coverage is matched on the *base object* of the address expression
+// (see baseExpr), so `Persist(node, nodeSize)` covers `Store64(node+off,
+// ...)`. Helper functions that intentionally defer flushing to their caller
+// suppress the finding with a //pmvet:ignore comment naming the caller that
+// persists.
+var UnflushedStore = &Analyzer{
+	Name: "unflushed-store",
+	Doc: "reports cached PM stores with no dominating Flush+Fence before " +
+		"function exit or lock release; an unflushed store is invisible to " +
+		"crash-consistency detection because the runtime never observes the " +
+		"line leave the (simulated) cache",
+	Run: runUnflushedStore,
+}
+
+func runUnflushedStore(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkUnflushed(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkUnflushed(pass *Pass, fn *ast.FuncDecl) {
+	calls := hookCallsIn(pass.TypesInfo, fn)
+	for i, h := range calls {
+		if h.kind != hookStore {
+			continue
+		}
+		base := baseString(pass.TypesInfo, h.addr)
+		// Scan forward for a flush or persist covering the same base
+		// object. A lock release before coverage means the store becomes
+		// visible to other threads while (possibly) still unflushed.
+		covered := false
+		fenced := false
+		for j := i + 1; j < len(calls); j++ {
+			c := calls[j]
+			switch c.kind {
+			case hookUnlock:
+				if !covered {
+					pass.Reportf(h.pos,
+						"%s to %s is not flushed before SpinUnlock releases the lock",
+						h.name, exprString(h.addr))
+					covered, fenced = true, true // report once per store
+				}
+			case hookFlush:
+				if !covered && baseString(pass.TypesInfo, c.addr) == base {
+					covered = true
+				}
+			case hookPersist:
+				if !covered && baseString(pass.TypesInfo, c.addr) == base {
+					covered, fenced = true, true
+				}
+			case hookFence:
+				if covered {
+					fenced = true
+				}
+			}
+			if covered && fenced {
+				break
+			}
+		}
+		switch {
+		case !covered:
+			pass.Reportf(h.pos,
+				"%s to %s has no Flush/Persist before function exit",
+				h.name, exprString(h.addr))
+		case !fenced:
+			pass.Reportf(h.pos,
+				"%s to %s is flushed but never fenced before function exit",
+				h.name, exprString(h.addr))
+		}
+	}
+}

@@ -111,6 +111,25 @@ func BuildQueue(stats map[pmem.Addr]*AddrStats) *Queue {
 	return q
 }
 
+// Reprioritize adjusts each entry's priority by boost and re-sorts with the
+// BuildQueue comparator (priority descending, address ascending). It is a
+// no-op once popping has started: re-ordering behind the cursor would make
+// entries repeat or vanish.
+func (q *Queue) Reprioritize(boost func(*Entry) int) {
+	if boost == nil || q.next > 0 {
+		return
+	}
+	for _, e := range q.entries {
+		e.Priority += boost(e)
+	}
+	sort.Slice(q.entries, func(i, j int) bool {
+		if q.entries[i].Priority != q.entries[j].Priority {
+			return q.entries[i].Priority > q.entries[j].Priority
+		}
+		return q.entries[i].Addr < q.entries[j].Addr
+	})
+}
+
 // Len returns the number of entries in the queue.
 func (q *Queue) Len() int { return len(q.entries) }
 

@@ -1,0 +1,9 @@
+// Package site assigns stable integer identifiers to instrumentation call
+// sites. It replaces the unique instruction IDs that PMRace's LLVM pass
+// assigns at compile time (paper §4.2.1): in this reproduction, instrumented
+// instructions are calls into the runtime hook API, and the hook resolves its
+// caller's program counter to a site ID the first time it is seen. Site IDs
+// feed the PM alias pair coverage metric and appear in bug reports as
+// file:line locations, mirroring the "Write code"/"Read code" columns of the
+// paper's Table 2.
+package site

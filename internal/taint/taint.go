@@ -1,15 +1,3 @@
-// Package taint implements the dynamic taint analysis PMRace uses to confirm
-// durable side effects of reading non-persisted data (paper §4.3). It is the
-// in-simulation equivalent of LLVM's DataFlowSanitizer: taint is represented
-// by small integer labels; a fresh leaf label is created for each
-// inconsistency-candidate event (a read of PM_DIRTY data); derived values
-// carry the union of their sources' labels; unions are memoised so that the
-// same pair of labels always yields the same label, keeping the label space
-// compact.
-//
-// A zero Label means "untainted". Instrumented target code threads labels
-// through its computations by hand — the manual analogue of DFSan's
-// compiler-inserted shadow propagation (see DESIGN.md, substitution table).
 package taint
 
 import "sync"

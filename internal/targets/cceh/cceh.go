@@ -94,7 +94,7 @@ func (h *HT) Setup(t *rt.Thread) error {
 		return err
 	}
 	for i := uint64(0); i < capacity; i++ {
-		seg, err := h.newSegment(t, initialDepth)
+		seg, err := h.newSegment(t, initialDepth, taint.None)
 		if err != nil {
 			return err
 		}
@@ -117,20 +117,22 @@ func (h *HT) newDirectory(t *rt.Thread, capacity uint64, capLab taint.Label) (pm
 	if err != nil {
 		return 0, err
 	}
+	//pmvet:ignore fence-pairing -- callers fence after finishing directory initialization
 	t.NTStore64(dir, capacity, capLab, taint.None)
 	return dir, nil
 }
 
 // newSegment allocates a zeroed segment with the given local depth and
-// annotates its persistent lock.
-func (h *HT) newSegment(t *rt.Thread, depth uint64) (pmem.Addr, error) {
+// annotates its persistent lock. depthLab carries the taint of the depth
+// value, which split derives from a loaded local depth.
+func (h *HT) newSegment(t *rt.Thread, depth uint64, depthLab taint.Label) (pmem.Addr, error) {
 	seg, err := h.pool.Alloc(t, segSize)
 	if err != nil {
 		return 0, err
 	}
 	zero := make([]byte, segSize)
 	t.NTStoreBytes(seg, zero, taint.None, taint.None)
-	t.NTStore64(seg+segDepth, depth, taint.None, taint.None)
+	t.NTStore64(seg+segDepth, depth, depthLab, taint.None)
 	t.Fence()
 	t.Env().AnnotateSyncVar(core.SyncVar{Name: "segment-lock", Addr: seg + segLock, Size: 8, InitVal: 0})
 	return seg, nil
@@ -275,11 +277,11 @@ func (h *HT) split(t *rt.Thread, kf, gdSeen uint64) error {
 	t.SpinLock(h.root + fldDirLock)
 	defer t.SpinUnlock(h.root + fldDirLock)
 
-	dir, _ := t.Load64(h.root + fldDirOff)
+	dir, dlab := t.Load64(h.root + fldDirOff)
 	gd, _ := t.Load64(h.root + fldDepth)
 	idx := dirIndex(kf, gd)
 	seg, _ := t.Load64(dir + 8 + idx*8)
-	ld, _ := t.Load64(seg + segDepth)
+	ld, ldlab := t.Load64(seg + segDepth)
 
 	if ld >= gd {
 		if gd >= maxDepth {
@@ -290,15 +292,17 @@ func (h *HT) split(t *rt.Thread, kf, gdSeen uint64) error {
 		if err != nil {
 			return err
 		}
+		// The doubled directory comes fresh from Alloc.
+		dlab = taint.None
 		idx = dirIndex(kf, gd)
 	}
 
 	// Split seg into two segments of local depth ld+1.
-	left, err := h.newSegment(t, ld+1)
+	left, err := h.newSegment(t, ld+1, ldlab)
 	if err != nil {
 		return err
 	}
-	right, err := h.newSegment(t, ld+1)
+	right, err := h.newSegment(t, ld+1, ldlab)
 	if err != nil {
 		return err
 	}
@@ -331,7 +335,7 @@ func (h *HT) split(t *rt.Thread, kf, gdSeen uint64) error {
 		if i>>(gd-(ld+1))&1 == 1 {
 			dst = right
 		}
-		t.NTStore64(dir+8+i*8, dst, taint.None, taint.None)
+		t.NTStore64(dir+8+i*8, dst, taint.None, dlab)
 	}
 	t.Fence()
 	return nil
@@ -343,8 +347,8 @@ func (h *HT) split(t *rt.Thread, kf, gdSeen uint64) error {
 // effect based on non-persisted data. If the crash drops the capacity store,
 // the allocated directory is unreachable garbage: PM leakage.
 func (h *HT) doubleDirectory(t *rt.Thread, dir, gd uint64) (pmem.Addr, uint64, error) {
-	oldCap, _ := t.Load64(dir)
-	t.Store64(h.root+fldCapacity, oldCap*2, taint.None, taint.None) // not flushed yet
+	oldCap, oclab := t.Load64(dir)
+	t.Store64(h.root+fldCapacity, oldCap*2, oclab, taint.None) // not flushed yet
 	// Intra-thread dirty read of the capacity just stored.
 	newCap, capLab := t.Load64(h.root + fldCapacity)
 	newDir, err := h.newDirectory(t, newCap, capLab) // durable side effect

@@ -1,0 +1,7 @@
+// Package targets defines the interface between the fuzzer and the PM
+// systems under test, plus a registry of the five concurrent PM systems the
+// paper evaluates (Table 1): P-CLHT, clevel hashing, CCEH, FAST-FAIR and
+// memcached-pmem. Each system is re-implemented in Go against the
+// instrumentation runtime with the paper's bug inventory seeded at the
+// corresponding algorithmic locations (see DESIGN.md §3).
+package targets

@@ -283,8 +283,8 @@ func (tr *Tree) split(t *rt.Thread, leaf pmem.Addr) error {
 		t.NTStore64(dst+8, v, vlab, taint.None)
 	}
 	t.NTStore64(newNode+ndNKeys, entriesPerNode-half, taint.None, taint.None)
-	oldSib, _ := t.Load64(leaf + ndSibling)
-	t.NTStore64(newNode+ndSibling, oldSib, taint.None, taint.None)
+	oldSib, sibLab := t.Load64(leaf + ndSibling)
+	t.NTStore64(newNode+ndSibling, oldSib, sibLab, taint.None)
 	t.Fence()
 	// Publish: regular store, flush deferred past the window (Bug 8).
 	t.Store64(leaf+ndSibling, newNode, taint.None, taint.None)
@@ -305,7 +305,7 @@ func (tr *Tree) Delete(t *rt.Thread, key string) bool {
 	leaf, lab := tr.findLeaf(t, kf)
 	t.SpinLock(leaf + ndLock)
 	defer t.SpinUnlock(leaf + ndLock)
-	nk, _ := t.Load64(leaf + ndNKeys)
+	nk, nklab := t.Load64(leaf + ndNKeys)
 	if nk > entriesPerNode {
 		nk = entriesPerNode
 	}
@@ -322,7 +322,7 @@ func (tr *Tree) Delete(t *rt.Thread, key string) bool {
 		}
 		t.Store64(leaf+ndEntries+pmem.Addr((nk-1)*16), 0, taint.None, lab)
 		t.Store64(leaf+ndEntries+pmem.Addr((nk-1)*16)+8, 0, taint.None, lab)
-		t.Store64(leaf+ndNKeys, nk-1, taint.None, lab)
+		t.Store64(leaf+ndNKeys, nk-1, nklab, lab)
 		t.Persist(leaf, nodeSize)
 		return true
 	}

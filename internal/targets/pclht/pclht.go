@@ -276,8 +276,8 @@ func (h *HT) Delete(t *rt.Thread, key string) bool {
 func (h *HT) bumpCount(t *rt.Thread) {
 	// The status lock briefly serializes the persistent item counter.
 	t.SpinLock(h.root + fldStatusLock)
-	c, _ := t.Load64(h.root + fldItemCount)
-	t.Store64(h.root+fldItemCount, c+1, taint.None, taint.None)
+	c, clab := t.Load64(h.root + fldItemCount)
+	t.Store64(h.root+fldItemCount, c+1, clab, taint.None)
 	t.Persist(h.root+fldItemCount, 8)
 	t.SpinUnlock(h.root + fldStatusLock)
 	h.puts.Add(1)
@@ -322,6 +322,7 @@ func (h *HT) resize(t *rt.Thread) error {
 			// BUG 4: the original redundantly writes the old
 			// bucket back (clht_lb_res.c:321) — an unnecessary PM
 			// write surfaced by PMRace as a candidate report.
+			//pmvet:ignore unflushed-store -- seeded BUG 4: the redundant write is the finding; the old table is discarded after migration
 			t.Store64(ob+bktKey0+pmem.Addr(s*8), k, klab, lab)
 		}
 	}
@@ -375,6 +376,7 @@ func (h *HT) gc(t *rt.Thread) {
 	// Durable side effect based on it: the GC record is written with a
 	// non-temporal store.
 	t.NTStore64(h.root+fldGCHead, tn, lab, taint.None)
+	t.Fence()
 	t.SpinUnlock(h.root + fldGCLock)
 }
 

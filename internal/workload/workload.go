@@ -1,10 +1,3 @@
-// Package workload models the structured inputs PMRace feeds to PM systems:
-// sequences of key-value operations distributed across worker threads. PM
-// applications are interactive in-memory systems (key-value stores, indexes),
-// so inputs are operation sequences rather than raw bytes (paper §4.5); the
-// package also provides a memcached-style text encoding so the AFL++-style
-// byte-level baseline mutator has something to mutate, and a parser whose
-// rejects become the "Error" command class of the paper's Table 4.
 package workload
 
 import (

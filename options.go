@@ -170,6 +170,14 @@ func WithInlineValidation() CampaignOption {
 	return func(c *campaignConfig) { c.opts.InlineValidation = true }
 }
 
+// WithAliasHints seeds the interleaving queue with statically inferred
+// load/store alias pairs (from `pmvet -alias`, loaded via LoadAliasHints).
+// Queue entries whose observed sites cover a hinted pair are explored
+// before any purely dynamically prioritized entry.
+func WithAliasHints(hints []AliasHint) CampaignOption {
+	return func(c *campaignConfig) { c.opts.AliasHints = hints }
+}
+
 // WithArtifacts writes a forensic bundle — bug report with taint lineage,
 // finding seed, interleaving schedule, PM access trace and dirty-word diff —
 // into a numbered subdirectory of dir for every confirmed bug. Bundles
