@@ -162,6 +162,8 @@ func statsRun(ht *pclht.HT) map[pmem.Addr]*sched.AddrStats {
 		ht.Put(a, fmt.Sprintf("key%03d", i), "v")
 		ht.Put(b, "victim", "precious")
 	}
+	a.Exit()
+	b.Exit()
 	return env.Stats()
 }
 

@@ -26,7 +26,7 @@ import (
 func TestCampaignHTTPIntrospection(t *testing.T) {
 	col := pmrace.NewCollector()
 	c, err := pmrace.NewCampaign(context.Background(), "pclht",
-		pmrace.WithBudget(25, time.Minute),
+		pmrace.WithBudget(150, time.Minute),
 		pmrace.WithWorkers(1),
 		pmrace.WithThreads(1),
 		pmrace.WithMode(pmrace.ModeNone),
@@ -47,11 +47,48 @@ func TestCampaignHTTPIntrospection(t *testing.T) {
 		}
 	}()
 
-	// Live endpoints answer while the campaign runs. These race with
-	// campaign completion only in the sense that a finished campaign still
-	// serves until Close — but Close happens after Wait below, and we have
-	// not waited yet.
+	// Connect the SSE stream first and read it concurrently: the server
+	// shuts down once the campaign finishes and its streams drain, so
+	// every endpoint must be hit while the campaign is still running —
+	// executions are fast enough that a sequential stream-then-poll
+	// order would lose the race.
 	base := "http://" + addr
+	type frame struct {
+		Kind string          `json:"kind"`
+		Seq  uint64          `json:"seq"`
+		Data json.RawMessage `json:"data"`
+	}
+	framesCh := make(chan []frame, 1)
+	streamErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/events")
+		if err != nil {
+			streamErr <- err
+			return
+		}
+		defer resp.Body.Close()
+		var frames []frame
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var f frame
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
+				streamErr <- err
+				return
+			}
+			frames = append(frames, f)
+		}
+		if err := sc.Err(); err != nil {
+			streamErr <- err
+			return
+		}
+		framesCh <- frames
+	}()
+
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatalf("GET /healthz: %v", err)
@@ -86,38 +123,16 @@ func TestCampaignHTTPIntrospection(t *testing.T) {
 		t.Fatalf("/metrics missing exec counter:\n%s", metrics)
 	}
 
-	// Stream /events to EOF; the campaign closing its emitter ends the
-	// stream.
-	resp, err = http.Get(base + "/events")
-	if err != nil {
-		t.Fatalf("GET /events: %v", err)
-	}
-	defer resp.Body.Close()
-	type frame struct {
-		Kind string          `json:"kind"`
-		Seq  uint64          `json:"seq"`
-		Data json.RawMessage `json:"data"`
-	}
-	var frames []frame
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "data: ") {
-			continue
-		}
-		var f frame
-		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
-			t.Fatalf("bad SSE data line %q: %v", line, err)
-		}
-		frames = append(frames, f)
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
-	}
-
+	// The campaign closing its emitter ends the SSE stream; join the
+	// concurrent reader.
 	if _, err := c.Wait(); err != nil {
 		t.Fatal(err)
+	}
+	var frames []frame
+	select {
+	case frames = <-framesCh:
+	case err := <-streamErr:
+		t.Fatalf("/events stream: %v", err)
 	}
 
 	if len(frames) == 0 {

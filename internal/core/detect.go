@@ -159,6 +159,11 @@ type SyncInconsistency struct {
 	Count int
 }
 
+// DedupKey returns the (variable, site) key the result database dedups by.
+func (si *SyncInconsistency) DedupKey() string {
+	return fmt.Sprintf("%s@%d", si.Var.Name, si.Site)
+}
+
 // Detector implements the runtime PM checkers for one fuzz campaign.
 type Detector struct {
 	mu     sync.Mutex

@@ -204,11 +204,30 @@ func classOf(k Kind) string {
 	}
 }
 
+// HasInconsistency reports whether a finding with the given dedup key is
+// already recorded. The fuzzing executor consults it at detection time to
+// skip the forensic capture (crash-state enumeration, PM diff, trace) for
+// duplicates, whose capture the merge would discard unread.
+func (db *DB) HasInconsistency(key [3]uint32) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.incons[key]
+	return ok
+}
+
+// HasSync is the synchronization-finding analogue of HasInconsistency.
+func (db *DB) HasSync(si *SyncInconsistency) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.syncs[si.DedupKey()]
+	return ok
+}
+
 // MergeSync records a synchronization inconsistency, deduplicating by
 // variable and site.
 func (db *DB) MergeSync(si *SyncInconsistency) (*JudgedSync, bool) {
 	db.mu.Lock()
-	key := fmt.Sprintf("%s@%d", si.Var.Name, si.Site)
+	key := si.DedupKey()
 	if prev, ok := db.syncs[key]; ok {
 		prev.Count += si.Count
 		db.mu.Unlock()

@@ -17,7 +17,15 @@ const wordBits = 64
 // concurrent fuzzing workers and driver threads never contends on a mutex.
 type Bitmap struct {
 	words [MapSize / wordBits]atomic.Uint64
-	n     atomic.Int64
+	// summary has one bit per data word, set once the word is non-zero.
+	// Coverage bitmaps are sparse (an execution touches a few hundred bits
+	// of 64Ki), so Merge and Hash walk the 16 summary words and skip the
+	// zero runs instead of loading all 1024 data words. A summary bit is
+	// raised after its data word becomes non-zero: a completed Set is
+	// always visible to a later Merge, and a Set racing a Merge may land in
+	// either side of it — the same linearization Merge already allows.
+	summary [MapSize / wordBits / wordBits]atomic.Uint64
+	n       atomic.Int64
 }
 
 // NewBitmap creates an empty bitmap.
@@ -27,7 +35,8 @@ func NewBitmap() *Bitmap { return &Bitmap{} }
 // unset.
 func (b *Bitmap) Set(hash uint64) bool {
 	idx := hash % MapSize
-	w := &b.words[idx/wordBits]
+	wi := idx / wordBits
+	w := &b.words[wi]
 	mask := uint64(1) << (idx % wordBits)
 	for {
 		old := w.Load()
@@ -37,8 +46,23 @@ func (b *Bitmap) Set(hash uint64) bool {
 		if w.CompareAndSwap(old, old|mask) {
 			// The CAS makes exactly one caller the setter of this
 			// bit, so the counter stays exact under concurrency.
+			if old == 0 {
+				b.markSummary(wi)
+			}
 			b.n.Add(1)
 			return true
+		}
+	}
+}
+
+// markSummary raises the summary bit for data word wi.
+func (b *Bitmap) markSummary(wi uint64) {
+	s := &b.summary[wi/wordBits]
+	mask := uint64(1) << (wi % wordBits)
+	for {
+		old := s.Load()
+		if old&mask != 0 || s.CompareAndSwap(old, old|mask) {
+			return
 		}
 	}
 }
@@ -46,24 +70,37 @@ func (b *Bitmap) Set(hash uint64) bool {
 // Count returns the number of set bits.
 func (b *Bitmap) Count() int { return int(b.n.Load()) }
 
-// Merge ORs other into b and returns how many bits were newly set in b.
+// Merge ORs other into b and returns how many bits were newly set in b. It
+// walks the set bits of other's summary words and skips the zero runs, so
+// the cost scales with the source bitmap's population rather than the map
+// size. Merge does not allocate.
 func (b *Bitmap) Merge(other *Bitmap) int {
 	newBits := 0
-	for i := range other.words {
-		src := other.words[i].Load()
-		if src == 0 {
-			continue
-		}
-		w := &b.words[i]
-		for {
-			old := w.Load()
-			diff := src &^ old
-			if diff == 0 {
-				break
+	for si := range other.summary {
+		sum := other.summary[si].Load()
+		base := uint64(si) * wordBits
+		for sum != 0 {
+			k := uint64(bits.TrailingZeros64(sum))
+			sum &^= 1 << k
+			i := base + k
+			src := other.words[i].Load()
+			if src == 0 {
+				continue
 			}
-			if w.CompareAndSwap(old, old|diff) {
-				newBits += bits.OnesCount64(diff)
-				break
+			w := &b.words[i]
+			for {
+				old := w.Load()
+				diff := src &^ old
+				if diff == 0 {
+					break
+				}
+				if w.CompareAndSwap(old, old|diff) {
+					if old == 0 {
+						b.markSummary(i)
+					}
+					newBits += bits.OnesCount64(diff)
+					break
+				}
 			}
 		}
 	}
@@ -71,11 +108,38 @@ func (b *Bitmap) Merge(other *Bitmap) int {
 	return newBits
 }
 
+// Hash folds the bitmap's contents into one 64-bit value: equal bit sets
+// produce equal hashes regardless of how (Set vs Merge, in what order) the
+// bits were raised. The scheduler's interleaving-equivalence pruning uses it
+// as the alias-coverage component of an execution's outcome signature. Like
+// Merge it skips zero runs through the summary.
+func (b *Bitmap) Hash() uint64 {
+	h := uint64(0)
+	for si := range b.summary {
+		sum := b.summary[si].Load()
+		base := uint64(si) * wordBits
+		for sum != 0 {
+			k := uint64(bits.TrailingZeros64(sum))
+			sum &^= 1 << k
+			w := b.words[base+k].Load()
+			if w == 0 {
+				continue
+			}
+			// XOR of per-word mixes: order-independent, position-aware.
+			h ^= mix(w ^ (base+k+1)*0x9e3779b97f4a7c15)
+		}
+	}
+	return h
+}
+
 // Reset clears the bitmap. Reset is not atomic with respect to concurrent
 // Set/Merge calls; callers reset only between executions.
 func (b *Bitmap) Reset() {
 	for i := range b.words {
 		b.words[i].Store(0)
+	}
+	for i := range b.summary {
+		b.summary[i].Store(0)
 	}
 	b.n.Store(0)
 }

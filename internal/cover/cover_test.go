@@ -156,6 +156,65 @@ func TestCountMatchesDistinctProperty(t *testing.T) {
 	}
 }
 
+// Property: Merge through the summary fast path sees exactly the bits Set
+// raised, and the summary stays consistent across Merge-populated bitmaps.
+func TestMergeSummaryEquivalenceProperty(t *testing.T) {
+	f := func(xs []uint64) bool {
+		src, dst, chained := NewBitmap(), NewBitmap(), NewBitmap()
+		distinct := map[uint64]bool{}
+		for _, x := range xs {
+			src.Set(x)
+			distinct[x%MapSize] = true
+		}
+		if dst.Merge(src) != len(distinct) || dst.Count() != src.Count() {
+			return false
+		}
+		// Merging a merge-populated bitmap must carry the same bits: the
+		// summary raised inside Merge has to cover them.
+		return chained.Merge(dst) == len(distinct) && chained.Hash() == src.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashOrderIndependent(t *testing.T) {
+	a, b := NewBitmap(), NewBitmap()
+	hashes := []uint64{3, 99, 7777, 65535, 1 << 40}
+	for _, h := range hashes {
+		a.Set(h)
+	}
+	for i := len(hashes) - 1; i >= 0; i-- {
+		b.Set(hashes[i])
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("hash depends on insertion order: %#x vs %#x", a.Hash(), b.Hash())
+	}
+	if a.Hash() == NewBitmap().Hash() {
+		t.Fatalf("non-empty bitmap hashes like empty")
+	}
+	b.Set(123456)
+	if a.Hash() == b.Hash() {
+		t.Fatalf("different bit sets must hash differently")
+	}
+	a.Reset()
+	if a.Hash() != NewBitmap().Hash() {
+		t.Fatalf("reset bitmap must hash like empty")
+	}
+}
+
+// The hot merge in the fuzzer loop must stay allocation-free; the summary
+// walk must not introduce hidden allocations.
+func TestMergeAllocFree(t *testing.T) {
+	x, y := NewBitmap(), NewBitmap()
+	for i := 0; i < 4096; i++ {
+		y.Set(uint64(i * 13))
+	}
+	if avg := testing.AllocsPerRun(100, func() { x.Merge(y); x.Hash() }); avg != 0 {
+		t.Fatalf("Merge+Hash allocates %.1f objects per run, want 0", avg)
+	}
+}
+
 func BenchmarkSet(b *testing.B) {
 	bm := NewBitmap()
 	b.ReportAllocs()

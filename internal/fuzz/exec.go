@@ -47,6 +47,10 @@ type ExecResult struct {
 	Coverage        *cover.Coverage
 	Stats           map[pmem.Addr]*sched.AddrStats
 	Outcome         *sched.Outcome // set when the PM-aware strategy ran
+	// Signature is the execution's outcome fingerprint (alias-coverage
+	// hash, dirty-word set hash); the fuzzer's interleaving-equivalence
+	// pruning keys on it.
+	Signature sched.OutcomeSig
 	Duration        time.Duration
 	SetupDuration   time.Duration
 	ExecErrors      int
@@ -88,6 +92,15 @@ type ExecOptions struct {
 	// MaxCrashStates caps the crash states enumerated per finding; values
 	// <= 1 reproduce the paper's single adversarial image.
 	MaxCrashStates int
+	// KnownInconsistency and KnownSync, when set, report whether a finding
+	// fingerprint is already in the campaign's dedup database. Run then
+	// skips the forensic capture — crash-state enumeration, PM diff and
+	// trace snapshot — for duplicates, which the merge would recycle
+	// unread. The predicates may only ever turn false→true (the database
+	// grows monotonically), so a stale answer costs one redundant capture,
+	// never a lost one.
+	KnownInconsistency func([3]uint32) bool
+	KnownSync func(*core.SyncInconsistency) bool
 }
 
 // Executor runs fuzz campaign executions against one target.
@@ -180,12 +193,30 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 		pool = x.newPool(tgt.PoolSize())
 	}
 
+	// Per-address statistics only feed interleaving-queue construction,
+	// which happens before the PM-aware tier runs — an interleaved
+	// execution re-collecting them would merge thousands of map entries
+	// per run that nothing reads (the paper decouples input generation
+	// from interleaving exploration for exactly this reason).
+	collectStats := x.opts.CollectStats
+	if _, ok := strat.(*sched.PMAware); ok {
+		collectStats = false
+	}
+
 	env := rt.NewEnv(pool, rt.Config{
 		Strategy:     strat,
 		HangTimeout:  x.opts.HangTimeout,
-		CollectStats: x.opts.CollectStats,
+		CollectStats: collectStats,
 		TraceDepth:   64,
 		OnInconsistency: func(e *rt.Env, in *core.Inconsistency) {
+			if x.opts.KnownInconsistency != nil && x.opts.KnownInconsistency(in.Key()) {
+				// Duplicate fingerprint: the merge only counts it, so
+				// skip the crash-state enumeration and trace snapshot.
+				mu.Lock()
+				res.Inconsistencies = append(res.Inconsistencies, CapturedInconsistency{In: in})
+				mu.Unlock()
+				return
+			}
 			accs := e.RecentAccesses()
 			in.Trace = rt.FormatTrace(accs, 12)
 			in.Input = seed.Encode()
@@ -196,6 +227,12 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 			mu.Unlock()
 		},
 		OnSync: func(e *rt.Env, si *core.SyncInconsistency) {
+			if x.opts.KnownSync != nil && x.opts.KnownSync(si) {
+				mu.Lock()
+				res.Syncs = append(res.Syncs, CapturedSync{Si: si})
+				mu.Unlock()
+				return
+			}
 			si.Input = seed.Encode()
 			states := e.Pool().CrashStates([]pmem.Range{{Off: si.Addr, Len: 8}}, x.opts.MaxCrashStates)
 			accs := e.RecentAccesses()
@@ -271,12 +308,18 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 	res.Candidates = env.Detector().Candidates()
 	res.Redundant = env.Detector().RedundantStores()
 	res.Coverage = env.Coverage()
-	if x.opts.CollectStats {
+	if collectStats {
 		res.Stats = env.Stats()
 	}
 	if pm, ok := strat.(*sched.PMAware); ok {
 		o := pm.Outcome()
 		res.Outcome = &o
+	}
+	// The outcome signature must be taken before the pool is recycled:
+	// the next execution's restore wipes the dirty-word state.
+	res.Signature = sched.OutcomeSig{
+		Alias: env.Coverage().Alias.Hash(),
+		Dirty: pool.DirtySetHash(),
 	}
 	if fromCheckpoint {
 		// Hand the pool back for the next execution; nothing retains it

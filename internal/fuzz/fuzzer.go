@@ -203,6 +203,11 @@ type Result struct {
 	HangSites []string
 	// RedundantSites lists store sites flagged as redundant writes.
 	RedundantSites []string
+	// Interleavings counts interleaving-tier entries actually scheduled;
+	// PrunedInterleavings counts entries dropped by schedule-equivalence
+	// pruning.
+	Interleavings       int
+	PrunedInterleavings int
 }
 
 // Fuzzer is PMRace's top-level fuzzing engine for one target.
@@ -232,9 +237,15 @@ type Fuzzer struct {
 	mExecs  *obs.Counter
 	mSeeds  *obs.Counter
 	mInterl *obs.Counter
+	mPruned *obs.Counter
 	mIncons *obs.Counter
 	gBranch *obs.Gauge
 	gAlias  *obs.Gauge
+
+	// equiv is the campaign-global schedule-equivalence table; queued
+	// interleavings whose class already ran without a novel outcome are
+	// dropped instead of executed.
+	equiv *sched.EquivClasses
 
 	mu         sync.Mutex
 	corpus     []*workload.Seed
@@ -304,7 +315,13 @@ func NewWithFactory(factory targets.Factory, opts Options) *Fuzzer {
 		redSites:  make(map[string]struct{}),
 		candSeen:  make(map[[2]uint32]struct{}),
 		mutator:   mut,
+		equiv:     sched.NewEquivClasses(),
 	}
+	// Known-fingerprint predicates let the executor skip forensic capture
+	// (crash states, PM diff, trace) for findings the dedup DB already
+	// holds — the merge would discard that work unread.
+	f.exec.opts.KnownInconsistency = f.db.HasInconsistency
+	f.exec.opts.KnownSync = f.db.HasSync
 	f.SetEmitter(obs.NewEmitter())
 	return f
 }
@@ -321,6 +338,7 @@ func (f *Fuzzer) SetEmitter(em *obs.Emitter) {
 	f.mExecs = reg.Counter(obs.MExecs)
 	f.mSeeds = reg.Counter(obs.MSeedsAccepted)
 	f.mInterl = reg.Counter(obs.MInterleavings)
+	f.mPruned = reg.Counter(obs.MInterleavingsPruned)
 	f.mIncons = reg.Counter(obs.MInconsistencies)
 	f.gBranch = reg.Gauge(obs.MBranchCov)
 	f.gAlias = reg.Gauge(obs.MAliasCov)
@@ -480,23 +498,32 @@ func (f *Fuzzer) seedCampaign(rng *rand.Rand, worker int) error {
 	// PM access statistics that feed the priority queue.
 	improved := false
 	for i := 0; i < f.opts.ExecsPerInterleaving && !f.done(); i++ {
-		imp, err := f.runOne(seed, f.baseStrategy(rng), worker)
+		out, err := f.runOne(seed, f.baseStrategy(rng), worker)
 		if err != nil {
 			return err
 		}
-		improved = improved || imp
+		improved = improved || out.improved
 	}
 
 	// Interleaving tier: drive executions towards reading non-persisted
-	// data at hot shared addresses.
+	// data at hot shared addresses. Pruned entries do not count against
+	// the per-seed budget — the loop keeps popping so the budget is spent
+	// on interleavings that actually run.
 	if f.opts.Mode == ModePMAware && !f.opts.DisableInterleavingTier {
 		queue := f.buildQueue()
-		for i := 0; i < f.opts.MaxInterleavingsPerSeed && !f.done(); i++ {
+		scheduled := 0
+		for scheduled < f.opts.MaxInterleavingsPerSeed && !f.done() {
 			entry := queue.Pop()
 			if entry == nil {
 				break
 			}
 			skip := f.skipFor(entry.Addr)
+			key := sched.EntrySignature(entry, skip)
+			if f.equiv.ShouldPrune(key) {
+				f.mPruned.Inc()
+				continue
+			}
+			scheduled++
 			f.mInterl.Inc()
 			f.em.Emit(&obs.InterleavingScheduled{
 				Worker:   worker,
@@ -504,21 +531,42 @@ func (f *Fuzzer) seedCampaign(rng *rand.Rand, worker int) error {
 				Priority: entry.Priority,
 				Skip:     skip,
 			})
+			productive, ran := false, 0
 			for e := 0; e < f.opts.ExecsPerInterleaving && !f.done(); e++ {
 				cfg := f.opts.Sched
 				cfg.Seed = rng.Int63()
 				pm := sched.NewPMAware(cfg, entry, f.skipFor(entry.Addr))
-				imp, err := f.runOne(seed, pm, worker)
+				out, err := f.runOne(seed, pm, worker)
 				if err != nil {
 					return err
 				}
-				improved = improved || imp
-				if out := pm.Outcome(); out.Disabled {
+				ran++
+				improved = improved || out.improved
+				// A round earns another visit only when it moved
+				// the campaign: an unseen outcome signature that
+				// also grew global coverage, or a finding the
+				// dedup DB had not recorded. Signature novelty
+				// alone is not enough — racy allocation order
+				// makes chaotic classes produce a fresh dirty
+				// set every run, and treating that as progress
+				// disables pruning exactly where the schedules
+				// are the most expensive (blocked cond_wait
+				// windows).
+				novel := f.equiv.OutcomeNovel(out.sig)
+				if (novel && out.improved) || out.found {
+					productive = true
+				}
+				if o := pm.Outcome(); o.Disabled {
 					// Pitfall-3: save an increased skip so
 					// future campaigns on this seed bypass
 					// the blocking cond_wait executions.
-					f.addSkip(entry.Addr, out.CondWaits)
+					f.addSkip(entry.Addr, o.CondWaits)
 				}
+			}
+			// A round cut short by the budget before any execution
+			// must not mark its class stale.
+			if ran > 0 {
+				f.equiv.Record(key, productive)
 			}
 		}
 	}
@@ -594,13 +642,21 @@ func (f *Fuzzer) addSkip(addr pmem.Addr, n int) {
 	f.skips[addr] += n
 }
 
+// runOutcome summarizes one execution for the tiers: whether coverage
+// improved, the outcome signature for equivalence pruning, and whether the
+// execution detected at least one inconsistency.
+type runOutcome struct {
+	improved bool
+	sig      sched.OutcomeSig
+	found    bool
+}
+
 // runOne executes the seed once, validates new findings post-failure, and
-// merges everything into the global state. It reports whether coverage
-// improved.
-func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (bool, error) {
+// merges everything into the global state.
+func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (runOutcome, error) {
 	res, err := f.exec.Run(seed, strat)
 	if err != nil {
-		return false, err
+		return runOutcome{}, err
 	}
 
 	// Post-failure stage: merge findings under the lock, then hand each
@@ -612,6 +668,11 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 	var jobs []*valJob
 	var recycle [][]pmem.CrashState
 	f.mu.Lock()
+	// newFindings counts findings unseen by the dedup DB. It — not raw
+	// detections — feeds the equivalence table's bug latch: the seeded
+	// targets re-detect their known bugs on nearly every execution, and
+	// pinning a class for duplicates would disable pruning entirely. A
+	// class becomes prunable only after its bug is already in the DB.
 	for _, cap := range res.Inconsistencies {
 		j, isNew := f.db.MergeInconsistency(cap.In)
 		if isNew {
@@ -634,6 +695,7 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 			recycle = append(recycle, cap.States)
 		}
 	}
+	newFindings := len(jobs)
 	f.mu.Unlock()
 	for _, states := range recycle {
 		pmem.RecycleStates(states)
@@ -647,7 +709,7 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 			if f.valCh != nil {
 				f.valCh <- job
 			} else if err := f.validateJob(job); err != nil {
-				return false, err
+				return runOutcome{}, err
 			}
 		}
 	}
@@ -729,7 +791,11 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 		Syncs:           len(res.Syncs),
 		Duration:        res.Duration,
 	})
-	return newBits > 0, nil
+	return runOutcome{
+		improved: newBits > 0,
+		sig:      res.Signature,
+		found:    newFindings > 0,
+	}, nil
 }
 
 // valJob is one finding queued for post-failure validation. Exactly one of
@@ -841,6 +907,7 @@ func (f *Fuzzer) result() *Result {
 	// holds confirmed inconsistencies.
 	r.Counts.InterCandidates = f.candInter
 	r.Counts.IntraCandidates = f.candIntra
+	r.Interleavings, r.PrunedInterleavings = f.equiv.Counts()
 	return r
 }
 
@@ -868,8 +935,10 @@ func (f *Fuzzer) Snapshot() obs.Stats {
 		AliasCov:           al,
 		Inconsistencies:    len(f.db.Inconsistencies()) + len(f.db.Syncs()),
 		Bugs:               len(f.db.UniqueBugs()),
-		Elapsed:            elapsed,
-		CheckpointRestores: f.em.Registry().Counter(obs.MCheckpointRestores).Value(),
+		Elapsed:             elapsed,
+		Interleavings:       f.em.Registry().Counter(obs.MInterleavings).Value(),
+		InterleavingsPruned: f.em.Registry().Counter(obs.MInterleavingsPruned).Value(),
+		CheckpointRestores:  f.em.Registry().Counter(obs.MCheckpointRestores).Value(),
 		Validations:        f.em.Registry().Counter(obs.MValidations).Value(),
 		EventsDropped:      f.em.Dropped(),
 	}

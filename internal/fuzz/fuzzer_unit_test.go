@@ -99,11 +99,11 @@ func TestRunOneMergesEverything(t *testing.T) {
 		{Kind: workload.OpSet, Key: "b", Value: "2"},
 		{Kind: workload.OpGet, Key: "b"},
 	}}
-	improved, err := f.runOne(seed, sched.None{}, 0)
+	out, err := f.runOne(seed, sched.None{}, 0)
 	if err != nil {
 		t.Fatalf("runOne: %v", err)
 	}
-	if !improved {
+	if !out.improved {
 		t.Fatalf("first execution must improve coverage")
 	}
 	if f.execs != 1 || len(f.timeline) != 1 {
@@ -116,11 +116,11 @@ func TestRunOneMergesEverything(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		f.runOne(seed, sched.None{}, 0)
 	}
-	improved, err = f.runOne(seed, sched.None{}, 0)
+	out, err = f.runOne(seed, sched.None{}, 0)
 	if err != nil {
 		t.Fatalf("runOne: %v", err)
 	}
-	if improved {
+	if out.improved {
 		t.Fatalf("identical executions must stop improving coverage")
 	}
 }

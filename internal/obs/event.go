@@ -195,6 +195,11 @@ type Stats struct {
 	Bugs        int           `json:"bugs"`
 	ExecsPerSec float64       `json:"execs_per_sec"`
 	Elapsed     time.Duration `json:"elapsed_ns"`
+	// Interleavings counts interleaving-tier entries actually scheduled;
+	// InterleavingsPruned counts entries dropped by schedule-equivalence
+	// pruning (their class had already run without a novel outcome).
+	Interleavings       int64 `json:"interleavings"`
+	InterleavingsPruned int64 `json:"interleavings_pruned"`
 	// CheckpointRestores counts dirty-line pool restores served by the
 	// in-memory checkpoint (the fork-server substitute).
 	CheckpointRestores int64 `json:"checkpoint_restores"`

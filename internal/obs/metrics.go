@@ -14,6 +14,7 @@ const (
 	MExecs                = "fuzz_execs_total"
 	MSeedsAccepted        = "corpus_seeds_accepted_total"
 	MInterleavings        = "sched_interleavings_total"
+	MInterleavingsPruned  = "sched_interleavings_pruned_total"
 	MInconsistencies      = "detect_inconsistencies_total"
 	MBugs                 = "detect_bugs_total"
 	MCheckpointRestores   = "exec_checkpoint_restores_total"

@@ -146,10 +146,15 @@ func (p *Pool) CrashStates(extra []Range, max int) []CrashState {
 	}
 
 	// Collect the distinct staged lines across threads, keeping the latest
-	// capture per line. Thread order is sorted so map iteration cannot
-	// perturb which capture wins or the resulting state order.
+	// view per line. Thread order is sorted so map iteration cannot perturb
+	// which view wins or the resulting state order. A captured entry
+	// contributes its materialized flush-time data; an uncaptured entry's
+	// flush-time data is the line's current contents (pendingLine
+	// invariant), read under the line's stripe.
+	p.guard.RLock()
 	p.pendingMu.Lock()
 	lineData := make(map[Addr][LineSize]byte, 4)
+	current := make(map[Addr]bool, 4)
 	tids := make([]ThreadID, 0, len(p.pending))
 	for t := range p.pending {
 		tids = append(tids, t)
@@ -157,10 +162,23 @@ func (p *Pool) CrashStates(extra []Range, max int) []CrashState {
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 	for _, t := range tids {
 		for _, s := range p.pending[t] {
-			lineData[s.line] = s.data
+			if s.cap != nil {
+				lineData[s.line] = s.cap.data
+				delete(current, s.line)
+			} else {
+				current[s.line] = true
+			}
 		}
 	}
 	p.pendingMu.Unlock()
+	for l := range current {
+		m := p.lockSpan(l, LineSize)
+		var data [LineSize]byte
+		copy(data[:], p.cache[l:l+LineSize])
+		p.unlockSpan(m)
+		lineData[l] = data
+	}
+	p.guard.RUnlock()
 
 	lines := make([]Addr, 0, len(lineData))
 	for l := range lineData {
@@ -243,7 +261,18 @@ func (p *Pool) Restore(s *Snapshot) {
 			p.touched[i].Store(0)
 		}
 	}
-	p.pending = make(map[ThreadID][]stagedLine)
+	// Reuse the pending map and its per-thread slices: a fuzz campaign
+	// restores once per execution, and rebuilding the map here was the last
+	// per-restore allocation on the hot path.
+	p.pendingMu.Lock()
+	for t, entries := range p.pending {
+		for i := range entries {
+			p.linePending[entries[i].line/LineSize].Store(0)
+			entries[i].cap = nil
+		}
+		p.pending[t] = entries[:0]
+	}
+	p.pendingMu.Unlock()
 	p.baseSnap = s
 }
 

@@ -70,9 +70,25 @@ type Accessor struct {
 	Valid  bool
 }
 
-// stagedLine is a cache line captured by a flush and awaiting a fence.
-type stagedLine struct {
-	line   Addr // line-aligned offset
+// pendingLine is one cache line flushed by a thread and awaiting its fence.
+// Flush does not copy the line: as long as nothing stores to it, the line's
+// flush-time contents ARE its current contents, so Fence can commit straight
+// from the cache image. Only when a store hits a line with pending flushes is
+// the flush-time view materialized into cap (copy-on-write), keeping the
+// common flush→fence sequence free of per-line data copies.
+//
+// Invariant: cap == nil ⟺ the line's data and word epochs are unchanged
+// since this entry's flush. Every store path calls capturePending before
+// mutating the cache, which fills cap for all uncaptured entries of the line.
+type pendingLine struct {
+	line Addr // line-aligned offset
+	cap  *lineCapture
+}
+
+// lineCapture is the materialized flush-time view of a pending line. All
+// uncaptured entries of a line share one capture (their views are identical
+// by the pendingLine invariant), so a store allocates at most one per line.
+type lineCapture struct {
 	data   [LineSize]byte
 	epochs [LineSize / WordSize]uint32
 }
@@ -96,7 +112,12 @@ type Pool struct {
 	last      []Accessor
 
 	pendingMu sync.Mutex
-	pending   map[ThreadID][]stagedLine
+	pending   map[ThreadID][]pendingLine
+	// linePending counts, per cache line, how many pendingLine entries
+	// reference the line. Store paths consult it (one atomic load, under the
+	// line's stripe) to decide whether a copy-on-write capture is needed;
+	// with no flush in flight the check is the only overhead.
+	linePending []atomic.Uint32
 
 	// touched is a bitmap with one bit per cache line, set when the line's
 	// data, metadata, shadow labels or accessor records changed since the
@@ -151,14 +172,15 @@ func NewWithOptions(size uint64, opt Options) *Pool {
 	}
 	lines := size / LineSize
 	p := &Pool{
-		size:      size,
-		cache:     make([]byte, size),
-		persisted: make([]byte, size),
-		meta:      make([]WordMeta, size/WordSize),
-		shadow:    make([]uint32, size/WordSize),
-		last:      make([]Accessor, size/WordSize),
-		pending:   make(map[ThreadID][]stagedLine),
-		touched:   make([]atomic.Uint64, (lines+63)/64),
+		size:        size,
+		cache:       make([]byte, size),
+		persisted:   make([]byte, size),
+		meta:        make([]WordMeta, size/WordSize),
+		shadow:      make([]uint32, size/WordSize),
+		last:        make([]Accessor, size/WordSize),
+		pending:     make(map[ThreadID][]pendingLine),
+		linePending: make([]atomic.Uint32, lines),
+		touched:     make([]atomic.Uint64, (lines+63)/64),
 	}
 	for i := range p.meta {
 		p.meta[i].Writer = NoThread
@@ -293,6 +315,7 @@ func (p *Pool) Store64(t ThreadID, site uint32, addr Addr, val uint64) {
 	p.check(addr, 8)
 	p.guard.RLock()
 	m := p.lockSpan(addr, 8)
+	p.capturePending(addr, 8)
 	putLE64(p.cache[addr:], val)
 	p.markStored(t, site, addr, 8)
 	p.unlockSpan(m)
@@ -307,6 +330,7 @@ func (p *Pool) StoreBytes(t ThreadID, site uint32, addr Addr, data []byte) {
 	p.check(addr, n)
 	p.guard.RLock()
 	m := p.lockSpan(addr, n)
+	p.capturePending(addr, n)
 	copy(p.cache[addr:], data)
 	p.markStored(t, site, addr, n)
 	p.unlockSpan(m)
@@ -321,6 +345,7 @@ func (p *Pool) NTStore64(t ThreadID, site uint32, addr Addr, val uint64) {
 	p.check(addr, 8)
 	p.guard.RLock()
 	m := p.lockSpan(addr, 8)
+	p.capturePending(addr, 8)
 	putLE64(p.cache[addr:], val)
 	putLE64(p.persisted[addr:], val)
 	p.markNT(t, site, addr, 8)
@@ -334,6 +359,7 @@ func (p *Pool) NTStoreBytes(t ThreadID, site uint32, addr Addr, data []byte) {
 	p.check(addr, n)
 	p.guard.RLock()
 	m := p.lockSpan(addr, n)
+	p.capturePending(addr, n)
 	copy(p.cache[addr:], data)
 	copy(p.persisted[addr:], data)
 	p.markNT(t, site, addr, n)
@@ -351,6 +377,7 @@ func (p *Pool) CAS64(t ThreadID, site uint32, addr Addr, old, new uint64) (bool,
 	cur := le64(p.cache[addr:])
 	ok := cur == old
 	if ok {
+		p.capturePending(addr, 8)
 		putLE64(p.cache[addr:], new)
 		p.markStored(t, site, addr, 8)
 	}
@@ -359,54 +386,125 @@ func (p *Pool) CAS64(t ThreadID, site uint32, addr Addr, old, new uint64) (bool,
 	return ok, cur
 }
 
-// Flush simulates CLWB over the cache lines covering [addr, addr+n): the
-// current cache contents of each line are staged on thread t and will reach
-// the persistence domain at t's next Fence. Words stored after the flush but
-// before the fence keep their dirty state (their epoch advanced). Each line
-// is captured atomically; distinct lines of one flush may interleave with
-// concurrent stores, matching per-line CLWB semantics.
+// Flush simulates CLWB over the cache lines covering [addr, addr+n): each
+// line is staged on thread t and will reach the persistence domain at t's
+// next Fence. Words stored after the flush but before the fence keep their
+// dirty state (their epoch advanced). Flush itself copies no data — it raises
+// the lines' pending counters and appends entries; the flush-time contents
+// are materialized lazily (capturePending) only if a store hits the line
+// before the fence. A flush racing a store linearizes at its entry append,
+// matching per-line CLWB semantics.
 func (p *Pool) Flush(t ThreadID, addr Addr, n uint64) {
 	p.check(addr, n)
 	p.flushes.Add(1)
 	p.guard.RLock()
-	for line := lineOf(addr); line < addr+n; line += LineSize {
-		var s stagedLine
-		s.line = line
-		m := p.lockSpan(line, LineSize)
-		copy(s.data[:], p.cache[line:line+LineSize])
-		for w := 0; w < LineSize/WordSize; w++ {
-			s.epochs[w] = p.meta[(line+Addr(w*WordSize))/WordSize].Epoch
+	first := lineOf(addr)
+	for line := first; line < addr+n; line += LineSize {
+		// Raise the counter before publishing the entry: a store that
+		// misses the counter is ordered before this flush; one that sees
+		// it scans the pending entries under pendingMu.
+		p.linePending[line/LineSize].Add(1)
+	}
+	p.pendingMu.Lock()
+	entries := p.pending[t]
+	for line := first; line < addr+n; line += LineSize {
+		entries = append(entries, pendingLine{line: line})
+	}
+	p.pending[t] = entries
+	p.pendingMu.Unlock()
+	p.guard.RUnlock()
+}
+
+// capturePending materializes the flush-time view of every uncaptured pending
+// entry covering [addr, addr+n). Store paths call it before mutating the
+// cache; the caller holds the guard shared and the stripes covering the
+// range, so the copied data is the pre-store state the flushes observed.
+func (p *Pool) capturePending(addr Addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	first := addr / LineSize
+	last := (addr + n - 1) / LineSize
+	for l := first; l <= last; l++ {
+		if p.linePending[l].Load() == 0 {
+			continue
 		}
-		p.unlockSpan(m)
+		line := l * LineSize
+		var view *lineCapture
 		p.pendingMu.Lock()
-		p.pending[t] = append(p.pending[t], s)
+		for _, entries := range p.pending {
+			for i := range entries {
+				if entries[i].line != line || entries[i].cap != nil {
+					continue
+				}
+				if view == nil {
+					view = &lineCapture{}
+					copy(view.data[:], p.cache[line:line+LineSize])
+					for w := 0; w < LineSize/WordSize; w++ {
+						view.epochs[w] = p.meta[(line+Addr(w*WordSize))/WordSize].Epoch
+					}
+				}
+				entries[i].cap = view
+			}
+		}
 		p.pendingMu.Unlock()
 	}
-	p.guard.RUnlock()
 }
 
 // Fence simulates SFENCE on thread t: every line staged by t's previous
 // flushes is committed to the persisted image, and each word whose epoch is
-// unchanged since the flush becomes clean.
+// unchanged since the flush becomes clean. Captured entries commit their
+// materialized flush-time view; uncaptured entries commit the current line
+// directly — by the pendingLine invariant the two are identical, so lazy
+// capture preserves exact eager-copy semantics.
 func (p *Pool) Fence(t ThreadID) {
 	p.fences.Add(1)
 	p.guard.RLock()
 	p.pendingMu.Lock()
-	staged := p.pending[t]
-	delete(p.pending, t)
+	count := len(p.pending[t])
 	p.pendingMu.Unlock()
-	for _, s := range staged {
-		m := p.lockSpan(s.line, LineSize)
-		copy(p.persisted[s.line:s.line+LineSize], s.data[:])
-		for w := 0; w < LineSize/WordSize; w++ {
-			wi := (s.line + Addr(w*WordSize)) / WordSize
-			if p.meta[wi].Epoch == s.epochs[w] {
+	// Entries stay visible in the map until committed so concurrent stores
+	// keep capturing them; thread t is sequential, so no new entries for t
+	// appear while its fence runs.
+	for i := 0; i < count; i++ {
+		p.pendingMu.Lock()
+		e := p.pending[t][i]
+		p.pendingMu.Unlock()
+		line := e.line
+		m := p.lockSpan(line, LineSize)
+		// A store may have captured this entry after the peek above;
+		// re-read the capture pointer under the line's stripe, which
+		// orders the commit against any capturing store.
+		p.pendingMu.Lock()
+		view := p.pending[t][i].cap
+		p.pendingMu.Unlock()
+		if view != nil {
+			copy(p.persisted[line:line+LineSize], view.data[:])
+			for w := 0; w < LineSize/WordSize; w++ {
+				wi := (line + Addr(w*WordSize)) / WordSize
+				if p.meta[wi].Epoch == view.epochs[w] {
+					p.meta[wi].Dirty = false
+					p.meta[wi].CleanEpoch = p.meta[wi].Epoch
+				}
+			}
+		} else {
+			// Unchanged since flush: current contents are the
+			// flush-time contents and every epoch matches.
+			copy(p.persisted[line:line+LineSize], p.cache[line:line+LineSize])
+			for w := 0; w < LineSize/WordSize; w++ {
+				wi := (line + Addr(w*WordSize)) / WordSize
 				p.meta[wi].Dirty = false
 				p.meta[wi].CleanEpoch = p.meta[wi].Epoch
 			}
 		}
-		p.markTouched(s.line, LineSize)
+		p.linePending[line/LineSize].Add(^uint32(0))
+		p.markTouched(line, LineSize)
 		p.unlockSpan(m)
+	}
+	if count > 0 {
+		p.pendingMu.Lock()
+		p.pending[t] = p.pending[t][:0]
+		p.pendingMu.Unlock()
 	}
 	p.guard.RUnlock()
 }
@@ -674,6 +772,7 @@ func (p *Pool) InstrStore64(t ThreadID, site uint32, addr Addr, val uint64, labe
 	p.guard.RLock()
 	m := p.lockSpan(addr, 8)
 	old = le64(p.cache[addr:])
+	p.capturePending(addr, 8)
 	putLE64(p.cache[addr:], val)
 	p.markStored(t, site, addr, 8)
 	for wi := addr / WordSize; wi <= (addr+7)/WordSize; wi++ {
@@ -694,6 +793,7 @@ func (p *Pool) InstrStoreBytes(t ThreadID, site uint32, addr Addr, data []byte, 
 	p.check(addr, n)
 	p.guard.RLock()
 	m := p.lockSpan(addr, n)
+	p.capturePending(addr, n)
 	copy(p.cache[addr:], data)
 	p.markStored(t, site, addr, n)
 	for wi := addr / WordSize; wi <= (addr+n-1)/WordSize; wi++ {
@@ -715,6 +815,7 @@ func (p *Pool) InstrNTStore64(t ThreadID, site uint32, addr Addr, val uint64, la
 	p.guard.RLock()
 	m := p.lockSpan(addr, 8)
 	old = le64(p.cache[addr:])
+	p.capturePending(addr, 8)
 	putLE64(p.cache[addr:], val)
 	putLE64(p.persisted[addr:], val)
 	p.markNT(t, site, addr, 8)
@@ -735,6 +836,7 @@ func (p *Pool) InstrNTStoreBytes(t ThreadID, site uint32, addr Addr, data []byte
 	p.check(addr, n)
 	p.guard.RLock()
 	m := p.lockSpan(addr, n)
+	p.capturePending(addr, n)
 	copy(p.cache[addr:], data)
 	copy(p.persisted[addr:], data)
 	p.markNT(t, site, addr, n)
@@ -765,6 +867,7 @@ func (p *Pool) InstrCAS64(t ThreadID, site uint32, addr Addr, old, new uint64, l
 	observed = le64(p.cache[addr:])
 	ok = observed == old
 	if ok {
+		p.capturePending(addr, 8)
 		putLE64(p.cache[addr:], new)
 		p.markStored(t, site, addr, 8)
 		for w := addr / WordSize; w <= (addr+7)/WordSize; w++ {
@@ -875,6 +978,51 @@ func (p *Pool) DirtyWords(max int) []DirtyWord {
 		}
 	}
 	return out
+}
+
+// DirtySetHash folds the pool's current dirty-line set (line addresses only)
+// into one order-independent 64-bit value. The fuzzer uses it as the
+// persistency-state half of an execution's outcome signature for
+// interleaving-equivalence pruning. The granularity is deliberately the
+// cache line, not the word: flush and fence semantics act on lines, and
+// word-level hashing splits equivalence classes on noise — e.g. which slot
+// of a hash bucket a racy insert happened to claim — that no crash state
+// distinguishes. Only lines touched since the base snapshot are scanned:
+// dirty words inherited from the checkpoint itself are identical for every
+// execution of a seed, so omitting them cannot split or merge equivalence
+// classes within that seed.
+func (p *Pool) DirtySetHash() uint64 {
+	p.guard.Lock()
+	defer p.guard.Unlock()
+	h := uint64(0)
+	n := uint64(0)
+	for wi := range p.touched {
+		w := p.touched[wi].Load()
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			line := (Addr(wi)*64 + Addr(b)) * LineSize
+			for word := line / WordSize; word < (line+LineSize)/WordSize; word++ {
+				if p.meta[word].Dirty {
+					h ^= mix64(uint64(line))
+					n++
+					break
+				}
+			}
+		}
+	}
+	return h ^ mix64(n)
+}
+
+// mix64 is a splitmix64 finalizer used to spread dirty-word addresses before
+// the order-independent XOR fold in DirtySetHash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 func le64(b []byte) uint64 {

@@ -64,8 +64,13 @@ type Env struct {
 	strat  sched.Strategy
 	cfg    Config
 
-	statsMu sync.Mutex
-	stats   map[pmem.Addr]*sched.AddrStats
+	// stratNone records that the strategy is the no-op sched.None, letting
+	// hooks skip the per-access interface calls entirely.
+	stratNone bool
+
+	// batch runs the deferred per-access analyses (alias pairs, statistics,
+	// redundant stores) over thread log drains.
+	batch *core.BatchAnalyzer
 
 	trace *traceRing
 
@@ -82,6 +87,19 @@ type Env struct {
 
 	threadsMu sync.Mutex
 	nextTID   pmem.ThreadID
+
+	// lockMu guards the volatile lock-ownership bookkeeping below. It is
+	// not part of the PM image: holders are recorded so a thread spinning
+	// on a lock whose owner has already exited — a leaked lock from a
+	// missing-unlock bug, or an owner abandoned after its own hang — can
+	// fail fast instead of burning the full hang timeout. A held lock
+	// with NO recorded holder (e.g. a persistent lock word left set in a
+	// crash image that recovery then trips over) keeps the timeout path:
+	// absence of an owner is exactly the recovery-hang case the timeout
+	// exists to report.
+	lockMu      sync.Mutex
+	lockHolders map[pmem.Addr]pmem.ThreadID
+	liveThreads map[pmem.ThreadID]struct{}
 }
 
 // NewEnv creates an environment over the given pool.
@@ -100,8 +118,11 @@ func NewEnv(pool *pmem.Pool, cfg Config) *Env {
 		cov:    cover.New(),
 		strat:  cfg.Strategy,
 		cfg:    cfg,
-		stats:  make(map[pmem.Addr]*sched.AddrStats),
 	}
+	_, e.stratNone = cfg.Strategy.(sched.None)
+	e.lockHolders = make(map[pmem.Addr]pmem.ThreadID)
+	e.liveThreads = make(map[pmem.ThreadID]struct{})
+	e.batch = core.NewBatchAnalyzer(e.det, e.cov.Alias, cfg.CollectStats)
 	if cfg.TraceDepth > 0 {
 		e.trace = newTraceRing(cfg.TraceDepth)
 	}
@@ -136,6 +157,9 @@ func (e *Env) Spawn() *Thread {
 	id := e.nextTID
 	e.nextTID++
 	e.threadsMu.Unlock()
+	e.lockMu.Lock()
+	e.liveThreads[id] = struct{}{}
+	e.lockMu.Unlock()
 	e.strat.ThreadStart(id)
 	th := &Thread{ID: id, env: e, sites: site.NewCache()}
 	if e.trace != nil {
@@ -148,32 +172,59 @@ func (e *Env) Spawn() *Thread {
 // (the pm_sync_var_hint equivalent, paper §5).
 func (e *Env) AnnotateSyncVar(v core.SyncVar) { e.det.AnnotateSyncVar(v) }
 
-// Stats returns the per-address access statistics collected so far.
-func (e *Env) Stats() map[pmem.Addr]*sched.AddrStats {
-	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
-	out := make(map[pmem.Addr]*sched.AddrStats, len(e.stats))
-	for a, st := range e.stats {
-		c := sched.NewAddrStats()
-		c.Merge(st)
-		out[a] = c
-	}
-	return out
+// noteLockAcquired records t as the volatile owner of the lock word.
+func (e *Env) noteLockAcquired(addr pmem.Addr, t pmem.ThreadID) {
+	e.lockMu.Lock()
+	e.lockHolders[addr] = t
+	e.lockMu.Unlock()
 }
 
-func (e *Env) recordStat(t pmem.ThreadID, addr pmem.Addr, s site.ID, isStore bool) {
-	if !e.cfg.CollectStats {
-		return
-	}
-	e.statsMu.Lock()
-	st, ok := e.stats[addr]
-	if !ok {
-		st = sched.NewAddrStats()
-		e.stats[addr] = st
-	}
-	st.Record(t, s, isStore)
-	e.statsMu.Unlock()
+// noteLockReleased clears the volatile owner of the lock word.
+func (e *Env) noteLockReleased(addr pmem.Addr) {
+	e.lockMu.Lock()
+	delete(e.lockHolders, addr)
+	e.lockMu.Unlock()
 }
+
+// noteThreadExit removes t from the live set. Locks t still holds stay in
+// lockHolders pointing at a dead thread, which is what lets their waiters
+// fail fast.
+func (e *Env) noteThreadExit(t pmem.ThreadID) {
+	e.lockMu.Lock()
+	delete(e.liveThreads, t)
+	e.lockMu.Unlock()
+}
+
+// lockUnacquirable reports whether the lock word can never be granted to
+// thread self: its recorded owner has exited (no live thread can release
+// it), or the owner is self (the locks are non-recursive, so a thread
+// spinning on a lock it already holds — the classic consequence of a
+// missing-unlock bug earlier in its own op stream — waits forever). Either
+// way the waiter is hung no matter how long it spins.
+func (e *Env) lockUnacquirable(addr pmem.Addr, self pmem.ThreadID) bool {
+	e.lockMu.Lock()
+	defer e.lockMu.Unlock()
+	holder, held := e.lockHolders[addr]
+	if !held {
+		return false
+	}
+	if holder == self {
+		return true
+	}
+	_, live := e.liveThreads[holder]
+	return !live
+}
+
+// Stats returns the per-address access statistics collected so far. With the
+// epoch-log hooks, statistics become visible when a thread's log drains (sync
+// points, full log, thread exit); callers read them at quiescent points.
+func (e *Env) Stats() map[pmem.Addr]*sched.AddrStats {
+	return e.batch.Stats()
+}
+
+// Batch returns the environment's batch analyzer; tests use it to inspect
+// drain clocks.
+func (e *Env) Batch() *core.BatchAnalyzer { return e.batch }
 
 // CancelError is panicked by a hook call on a cancelled environment. The
 // goroutine driving the cancelled execution recovers it and exits; unlike

@@ -275,12 +275,44 @@ func TestAliasCoverageCrossThreadOnly(t *testing.T) {
 	t1, t2 := e.Spawn(), e.Spawn()
 	t1.Store64(64, 1, taint.None, taint.None)
 	t1.Load64(64) // same thread: no alias pair
+	t1.Fence()    // sync point: drains t1's access log
 	if got := e.Coverage().Alias.Count(); got != 0 {
 		t.Fatalf("same-thread accesses must not form alias pairs, got %d", got)
 	}
 	t2.Load64(64) // cross-thread back-to-back: alias pair
+	t2.Fence()
 	if got := e.Coverage().Alias.Count(); got != 1 {
 		t.Fatalf("alias coverage = %d, want 1", got)
+	}
+}
+
+// TestDeferredAnalysisPublishesAtSyncPoints pins the epoch-log contract:
+// per-access analysis results are not published inline but at the next sync
+// point (fence, unlock, exit), and the thread's drain clock advances once per
+// drain, not per access.
+func TestDeferredAnalysisPublishesAtSyncPoints(t *testing.T) {
+	e := newEnv(t, Config{})
+	t1, t2 := e.Spawn(), e.Spawn()
+	t1.Store64(64, 1, taint.None, taint.None)
+	t2.Load64(64) // cross-thread alias pair, still in t2's log
+	if got := e.Coverage().Alias.Count(); got != 0 {
+		t.Fatalf("alias pair published before sync point: count = %d", got)
+	}
+	if c := e.Batch().Clock(t2.ID); c != 0 {
+		t.Fatalf("clock advanced before drain: %d", c)
+	}
+	t2.Load64(64)
+	t2.Fence()
+	if got := e.Coverage().Alias.Count(); got != 1 {
+		t.Fatalf("alias coverage after drain = %d, want 1", got)
+	}
+	if c := e.Batch().Clock(t2.ID); c != 1 {
+		t.Fatalf("clock after one drain = %d, want 1", c)
+	}
+	t2.Exit()
+	// An empty log drains nothing: the clock must not advance.
+	if c := e.Batch().Clock(t2.ID); c != 1 {
+		t.Fatalf("clock after empty exit drain = %d, want 1", c)
 	}
 }
 
@@ -289,6 +321,8 @@ func TestStatsCollection(t *testing.T) {
 	t1, t2 := e.Spawn(), e.Spawn()
 	t1.Store64(64, 1, taint.None, taint.None)
 	t2.Load64(64)
+	t1.Exit()
+	t2.Exit()
 	stats := e.Stats()
 	st, ok := stats[64]
 	if !ok || !st.Shared() || st.Total != 2 {
@@ -388,6 +422,7 @@ func TestRedundantStoreDetection(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		t1.Store64(64, 7, taint.None, taint.None) // same value: redundant
 	}
+	t1.Exit()
 	red := e.Detector().RedundantStores()
 	if len(red) != 1 || red[0].Count != 3 {
 		t.Fatalf("redundant stores = %+v", red)

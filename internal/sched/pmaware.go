@@ -37,7 +37,7 @@ func DefaultConfig() Config {
 	return Config{
 		Poll:       20 * time.Microsecond,
 		WriterWait: 2 * time.Millisecond,
-		MaxWait:    8 * time.Millisecond,
+		MaxWait:    4 * time.Millisecond,
 		Seed:       1,
 	}
 }

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/pmrace-go/pmrace/internal/pmem"
 	"github.com/pmrace-go/pmrace/internal/site"
@@ -71,8 +72,12 @@ func (e *Entry) Key() pmem.Addr { return e.Addr }
 
 // Queue is the priority queue of shared PM data access instructions grouped
 // by address. Entries are ordered by access frequency (hot shared data
-// first) and popped at most once per seed.
+// first) and popped at most once per seed. All methods are safe for
+// concurrent use: with equivalence pruning a worker keeps popping past
+// pruned entries while another may still be reprioritizing, so the cursor
+// and the entry order share one mutex.
 type Queue struct {
+	mu      sync.Mutex
 	entries []*Entry
 	next    int
 }
@@ -116,7 +121,12 @@ func BuildQueue(stats map[pmem.Addr]*AddrStats) *Queue {
 // no-op once popping has started: re-ordering behind the cursor would make
 // entries repeat or vanish.
 func (q *Queue) Reprioritize(boost func(*Entry) int) {
-	if boost == nil || q.next > 0 {
+	if boost == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.next > 0 {
 		return
 	}
 	for _, e := range q.entries {
@@ -131,13 +141,23 @@ func (q *Queue) Reprioritize(boost func(*Entry) int) {
 }
 
 // Len returns the number of entries in the queue.
-func (q *Queue) Len() int { return len(q.entries) }
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries)
+}
 
 // Remaining returns how many entries have not been popped yet.
-func (q *Queue) Remaining() int { return len(q.entries) - q.next }
+func (q *Queue) Remaining() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries) - q.next
+}
 
 // Pop returns the next unexplored entry, or nil when the queue is exhausted.
 func (q *Queue) Pop() *Entry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.next >= len(q.entries) {
 		return nil
 	}

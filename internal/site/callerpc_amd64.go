@@ -1,0 +1,16 @@
+//go:build amd64
+
+package site
+
+// ReturnPC returns the return PC of its caller: the program counter just past
+// the call instruction in the caller's caller. Hook implementations call it
+// directly from the exported hook body, so the returned PC identifies the
+// instrumented instruction in the target — the same value runtime.Callers
+// would report for that frame, at a fraction of the cost (one frame-pointer
+// load instead of a stack unwind).
+//
+// The caller must be a real stack frame: the hook must be marked
+// //go:noinline, or inlining would make ReturnPC's BP walk land one frame too
+// high. VerifyReturnPC checks the mechanism at startup; callers fall back to
+// runtime.Callers when it reports false.
+func ReturnPC() uintptr

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package site
+
+// ReturnPC is the portable stub: it reports no PC, making VerifyReturnPC
+// false so hook code takes the runtime.Callers path on architectures without
+// the frame-pointer fast path.
+func ReturnPC() uintptr { return 0 }

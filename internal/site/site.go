@@ -198,7 +198,13 @@ func (c *Cache) Here(skip int) ID {
 	if runtime.Callers(skip+3, pcs[:]) == 0 {
 		return Unknown
 	}
-	pc := pcs[0]
+	return c.ForPC(pcs[0])
+}
+
+// ForPC resolves a raw return PC (from runtime.Callers or ReturnPC) to a
+// stable ID through the cache. Both capture paths produce the same PC value
+// for a given call site, so they share cache slots and registry entries.
+func (c *Cache) ForPC(pc uintptr) ID {
 	// Return PCs are instruction-aligned; drop the low bits so adjacent
 	// call sites spread over distinct slots.
 	slot := (pc >> 3) % cacheSize
@@ -209,6 +215,30 @@ func (c *Cache) Here(skip int) ID {
 	c.pcs[slot] = pc
 	c.ids[slot] = id
 	return id
+}
+
+// returnPCProbe compares the two caller-PC capture mechanisms from one frame:
+// the frame-pointer walk of ReturnPC and the runtime.Callers unwind (skip 2 =
+// the caller of this function, the same frame ReturnPC reports). It must not
+// be inlined — ReturnPC needs a real stack frame to walk out of.
+//
+//go:noinline
+func returnPCProbe() (fp, unwind uintptr) {
+	var pcs [1]uintptr
+	if runtime.Callers(2, pcs[:]) == 0 {
+		return 0, 1
+	}
+	return ReturnPC(), pcs[0]
+}
+
+// VerifyReturnPC reports whether the frame-pointer caller-PC fast path works
+// in this build: ReturnPC must agree exactly with runtime.Callers. It returns
+// false on architectures without the assembly implementation and on any build
+// whose frame layout the walk does not match, in which case callers must keep
+// using runtime.Callers.
+func VerifyReturnPC() bool {
+	fp, unwind := returnPCProbe()
+	return fp != 0 && fp == unwind
 }
 
 func shortFunc(fn string) string {
