@@ -2,10 +2,38 @@ package pmrace
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
+	"strings"
 
+	"github.com/pmrace-go/pmrace/api"
 	"github.com/pmrace-go/pmrace/internal/fuzz"
 	"github.com/pmrace-go/pmrace/internal/obs"
+	"github.com/pmrace-go/pmrace/internal/targets"
+)
+
+// ErrUnknownTarget is returned (wrapped, with the offending name and the
+// registered alternatives) by NewCampaign when the target name is not in
+// the registry. Match it with errors.Is.
+var ErrUnknownTarget = errors.New("unknown target")
+
+// CampaignState is the typed campaign lifecycle, shared verbatim with the
+// REST API's `state` field (it aliases api.State, the wire enum): an
+// in-process campaign and a pmraced-managed one spell their states
+// identically.
+type CampaignState = api.State
+
+// The campaign lifecycle states. In-process campaigns start on NewCampaign,
+// so they never report StatePending — that state exists for pmraced, where
+// a submitted campaign may queue for worker-budget headroom.
+const (
+	StatePending   = api.StatePending
+	StateRunning   = api.StateRunning
+	StateDraining  = api.StateDraining
+	StateDone      = api.StateDone
+	StateCancelled = api.StateCancelled
+	StateFailed    = api.StateFailed
 )
 
 // Observability surface, re-exported from internal/obs.
@@ -52,11 +80,12 @@ func NewJSONLSink(w io.Writer) Sink { return obs.NewJSONLSink(w) }
 
 // Campaign is a running fuzzing session. It starts immediately on
 // NewCampaign and runs until its budget is exhausted or its context is
-// cancelled; while in flight it exposes a live event stream and statistics
-// snapshots instead of the old fire-and-forget blocking call.
+// cancelled; while in flight it exposes a live event stream, statistics
+// snapshots, and a typed lifecycle state.
 type Campaign struct {
 	fz       *fuzz.Fuzzer
 	em       *obs.Emitter
+	ctx      context.Context
 	events   <-chan obs.Event
 	done     chan struct{}
 	httpSrv  *obs.Server
@@ -66,9 +95,10 @@ type Campaign struct {
 }
 
 // NewCampaign creates and starts a fuzzing campaign against a registered
-// target. Cancelling ctx stops every worker at its next inter-execution
-// check — within one execution — after which Wait returns the partial
-// Result accumulated so far.
+// target. An unregistered target fails immediately with ErrUnknownTarget.
+// Cancelling ctx stops every worker at its next inter-execution check —
+// within one execution — after which Wait returns the partial Result
+// accumulated so far.
 //
 //	ctx, cancel := context.WithCancel(context.Background())
 //	defer cancel()
@@ -83,6 +113,13 @@ type Campaign struct {
 //	}
 //	res, _ := c.Wait()
 func NewCampaign(ctx context.Context, target string, options ...CampaignOption) (*Campaign, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !targets.Has(target) {
+		return nil, fmt.Errorf("pmrace: %w %q (registered: %s)",
+			ErrUnknownTarget, target, strings.Join(targets.Names(), ", "))
+	}
 	cfg := campaignConfig{eventBuf: 4096}
 	for _, o := range options {
 		o(&cfg)
@@ -99,9 +136,9 @@ func NewCampaign(ctx context.Context, target string, options ...CampaignOption) 
 	events := em.Subscribe(cfg.eventBuf)
 	fz.SetEmitter(em)
 
-	c := &Campaign{fz: fz, em: em, events: events, done: make(chan struct{})}
+	c := &Campaign{fz: fz, em: em, ctx: ctx, events: events, done: make(chan struct{})}
 	if cfg.httpAddr != "" {
-		srv := obs.NewServer(em, func() any { return fz.Snapshot() })
+		srv := obs.NewServer(em, func() any { return c.Snapshot() })
 		bound, err := srv.Start(cfg.httpAddr)
 		if err != nil {
 			em.Close()
@@ -127,6 +164,31 @@ func NewCampaign(ctx context.Context, target string, options ...CampaignOption) 
 // (see WithHTTPAddr), or "" when none was requested.
 func (c *Campaign) HTTPAddr() string { return c.httpAddr }
 
+// State returns the campaign's lifecycle state. An in-process campaign is
+// Running from NewCampaign on; it becomes Draining once its context is
+// cancelled while workers finish their in-flight executions, and settles
+// terminal as Done (budget exhausted), Cancelled (context cancelled) or
+// Failed (Wait returns an error). The same enum — and the same strings —
+// appear in the REST API's `state` field.
+func (c *Campaign) State() CampaignState {
+	select {
+	case <-c.done:
+		switch {
+		case c.err != nil:
+			return StateFailed
+		case c.ctx.Err() != nil:
+			return StateCancelled
+		default:
+			return StateDone
+		}
+	default:
+	}
+	if c.ctx.Err() != nil {
+		return StateDraining
+	}
+	return StateRunning
+}
+
 // Events returns the campaign's event stream. The channel is buffered
 // (WithEventBuffer); if the consumer falls behind, the oldest buffered
 // event is shed — attach a Sink for lossless consumption. The channel is
@@ -134,10 +196,14 @@ func (c *Campaign) HTTPAddr() string { return c.httpAddr }
 // been delivered.
 func (c *Campaign) Events() <-chan Event { return c.events }
 
-// Snapshot returns live campaign statistics; safe to call at any time from
-// any goroutine. After the campaign finishes, it equals the final Result's
-// aggregates.
-func (c *Campaign) Snapshot() Stats { return c.fz.Snapshot() }
+// Snapshot returns live campaign statistics, stamped with the current
+// lifecycle state; safe to call at any time from any goroutine. After the
+// campaign finishes, it equals the final Result's aggregates.
+func (c *Campaign) Snapshot() Stats {
+	st := c.fz.Snapshot()
+	st.State = string(c.State())
+	return st
+}
 
 // Done returns a channel closed when the campaign has finished.
 func (c *Campaign) Done() <-chan struct{} { return c.done }

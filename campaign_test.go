@@ -245,14 +245,59 @@ func TestCampaignJSONLTrace(t *testing.T) {
 	}
 }
 
-// TestFuzzCompatWrapper keeps the deprecated blocking API working: it must
-// behave exactly like NewCampaign + Wait.
-func TestFuzzCompatWrapper(t *testing.T) {
-	res, err := pmrace.Fuzz("pclht", pmrace.Options{MaxExecs: 8, Workers: 2, Seed: 2})
+// TestWithOptionsCompat keeps the deprecated struct escape hatch working for
+// configurations assembled before the functional-options API.
+func TestWithOptionsCompat(t *testing.T) {
+	c, err := pmrace.NewCampaign(context.Background(), "pclht",
+		pmrace.WithOptions(pmrace.Options{MaxExecs: 8, Workers: 2, Seed: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Wait()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Execs < 8 {
-		t.Fatalf("Fuzz ran %d executions, want >= 8", res.Execs)
+		t.Fatalf("campaign ran %d executions, want >= 8", res.Execs)
+	}
+}
+
+// TestCampaignStateLifecycle walks a campaign through the typed lifecycle:
+// Running while in flight, Done after a completed budget, Cancelled after a
+// context cancellation — and the Snapshot stats carry the same string.
+func TestCampaignStateLifecycle(t *testing.T) {
+	c, err := pmrace.NewCampaign(context.Background(), "pclht",
+		pmrace.WithBudget(5, time.Minute), pmrace.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.State(); st != pmrace.StateRunning && st != pmrace.StateDone {
+		t.Fatalf("in-flight state = %q", st)
+	}
+	if _, err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.State(); st != pmrace.StateDone {
+		t.Fatalf("terminal state = %q, want %q", st, pmrace.StateDone)
+	}
+	if got := c.Snapshot().State; got != string(pmrace.StateDone) {
+		t.Fatalf("snapshot state = %q, want %q", got, pmrace.StateDone)
+	}
+	if !pmrace.StateDone.Terminal() || pmrace.StateRunning.Terminal() {
+		t.Fatal("Terminal() misclassifies states")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c2, err := pmrace.NewCampaign(ctx, "pclht",
+		pmrace.WithBudget(1_000_000, time.Hour), pmrace.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := c2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.State(); st != pmrace.StateCancelled {
+		t.Fatalf("cancelled campaign state = %q, want %q", st, pmrace.StateCancelled)
 	}
 }

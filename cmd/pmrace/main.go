@@ -11,6 +11,14 @@
 //	pmrace -artifact ./bugs/0001-sync
 //	pmrace -list
 //
+// Against a pmraced control plane (see cmd/pmraced), the subcommands drive
+// campaigns remotely over the versioned REST API:
+//
+//	pmrace submit -server http://host:7762 -target pclht -execs 500 -wait
+//	pmrace status -server http://host:7762 [-id c0001]
+//	pmrace cancel -server http://host:7762 -id c0001 -wait
+//	pmrace logs   -server http://host:7762 -id c0001
+//
 // With -json the typed event stream (exec_done, seed_accepted,
 // inconsistency_found, validation_verdict, bug_confirmed, campaign_done,
 // ...) goes to stdout as JSON lines and the human summary moves to stderr.
@@ -46,6 +54,14 @@ func main() { os.Exit(run()) }
 // run is main with an exit code: 0 clean campaign, 1 confirmed bugs,
 // 2 usage/runtime error.
 func run() int {
+	// The pmraced subcommands (submit/status/cancel/logs) drive a remote
+	// control plane; everything else is the local flag CLI.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "submit", "status", "cancel", "logs":
+			return runRemote(os.Args[1], os.Args[2:])
+		}
+	}
 	var (
 		list      = flag.Bool("list", false, "list registered targets and exit")
 		target    = flag.String("target", "pclht", "target system to fuzz")

@@ -1,0 +1,99 @@
+// Command pmraced is the pmrace control plane: a long-running server that
+// schedules many concurrent fuzzing campaigns — per target, per exploration
+// strategy — over a shared worker budget, behind the versioned REST API of
+// package api (consumed by package client and `pmrace submit|status|cancel|
+// logs`).
+//
+// Usage:
+//
+//	pmraced -addr :7762 -budget 8 -data /var/lib/pmraced -retention 200
+//
+// Campaigns queue FIFO and are admitted whenever their worker count fits
+// under the budget. All campaigns on one target share a corpus directory
+// (coverage found by one seeds the next) and a bug-fingerprint store that
+// flags re-discovered bugs as duplicates. /metrics merges every campaign's
+// registry into one labeled Prometheus exposition; /status reports all
+// campaigns.
+//
+// SIGTERM/SIGINT drains gracefully: submissions are rejected with 503,
+// in-flight executions finish, partial results and artifact bundles are
+// persisted, then the HTTP server shuts down. A second signal aborts
+// immediately.
+//
+// Exit codes: 0 — clean drain; 2 — usage/runtime error or drain timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr         = flag.String("addr", ":7762", "listen address")
+		budget       = flag.Int("budget", 4, "shared fuzzing-worker budget across campaigns")
+		data         = flag.String("data", "", "state directory (corpus + artifacts); empty = fresh temp dir")
+		retention    = flag.Int("retention", 0, "artifact bundles retained across campaigns (0 = unlimited)")
+		maxCampaigns = flag.Int("max-campaigns", 64, "campaigns tracked at once (queued and terminal included)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on graceful drain at shutdown")
+	)
+	flag.Parse()
+
+	sup, err := serve.New(serve.Config{
+		WorkerBudget: *budget,
+		MaxCampaigns: *maxCampaigns,
+		DataDir:      *data,
+		Retention:    *retention,
+		DrainTimeout: *drainTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmraced: %v\n", err)
+		return 2
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: sup.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "pmraced: listening on %s (budget %d workers, data %s)\n",
+		*addr, *budget, sup.DataDir())
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "pmraced: %v\n", err)
+		return 2
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "pmraced: draining — waiting for in-flight executions")
+	code := 0
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+	defer cancel()
+	if err := sup.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "pmraced: %v\n", err)
+		code = 2
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pmraced: shutdown: %v\n", err)
+		code = 2
+	}
+	if code == 0 {
+		fmt.Fprintln(os.Stderr, "pmraced: drained cleanly")
+	}
+	return code
+}

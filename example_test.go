@@ -1,6 +1,7 @@
 package pmrace_test
 
 import (
+	"context"
 	"fmt"
 
 	pmrace "github.com/pmrace-go/pmrace"
@@ -32,11 +33,17 @@ func (f *flagThenData) Exec(t *rt.Thread, op workload.Op) error {
 	return nil
 }
 
-// ExampleFuzz shows the minimal end-to-end workflow: register a target, fuzz
-// it, and inspect the unique bugs.
-func ExampleFuzz() {
+// ExampleNewCampaign shows the minimal end-to-end workflow: register a
+// target, run a campaign against it, and inspect the unique bugs.
+func ExampleNewCampaign() {
 	pmrace.RegisterTarget("doc-example", func() pmrace.Target { return &flagThenData{} })
-	res, err := pmrace.Fuzz("doc-example", pmrace.Options{MaxExecs: 30, Seed: 3})
+	c, err := pmrace.NewCampaign(context.Background(), "doc-example",
+		pmrace.WithBudget(30, 0), pmrace.WithSeed(3))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := c.Wait()
 	if err != nil {
 		fmt.Println("error:", err)
 		return

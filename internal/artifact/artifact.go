@@ -298,7 +298,12 @@ type Writer struct {
 
 // NewWriter creates the base directory (if needed) and a writer into it.
 // Numbering resumes after the highest existing bundle, so pointing a new
-// campaign at a previous run's directory never overwrites its bundles.
+// campaign at a previous run's directory never overwrites its bundles; the
+// fingerprints of existing bundles are loaded into the dedup set, so a
+// later campaign sharing the directory never rewrites a bug an earlier one
+// already bundled (the cross-campaign dedup the pmraced control plane
+// relies on). A bundle whose bug.json cannot be read is skipped for dedup
+// but still counts for numbering.
 func NewWriter(dir string) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("artifact: creating %s: %w", dir, err)
@@ -315,6 +320,10 @@ func NewWriter(dir string) (*Writer, error) {
 		num, _, _ := strings.Cut(e.Name(), "-")
 		if n, err := strconv.Atoi(num); err == nil && n > w.n {
 			w.n = n
+		}
+		var rep Report
+		if err := readJSON(filepath.Join(dir, e.Name(), BugFile), &rep); err == nil && rep.Fingerprint != "" {
+			w.seen[rep.Fingerprint] = struct{}{}
 		}
 	}
 	return w, nil

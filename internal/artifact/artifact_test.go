@@ -263,3 +263,76 @@ func TestWriterRetriesAfterFailedWrite(t *testing.T) {
 		t.Fatalf("retried bundle dir = %q, want 0001-inter", dir)
 	}
 }
+
+// TestWriterLoadsSeenFingerprints pins cross-campaign dedup through a
+// shared directory: a fresh writer over an existing artifact tree refuses
+// to rewrite fingerprints already bundled on disk.
+func TestWriterLoadsSeenFingerprints(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bugs")
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBundle(t)
+	if _, err := w.Write(b); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := w2.Write(b); err != nil || got != "" {
+		t.Fatalf("reopened writer rewrote existing fingerprint: dir=%q err=%v", got, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d bundles, want 1", len(entries))
+	}
+}
+
+// TestGCRetention pins the retention budget: the oldest bundles across a
+// two-level artifact tree are removed until at most retain remain, and
+// emptied campaign directories disappear with them.
+func TestGCRetention(t *testing.T) {
+	root := t.TempDir()
+	write := func(campaign, name string, age time.Duration) string {
+		t.Helper()
+		dir := filepath.Join(root, campaign, name)
+		b := testBundle(t)
+		b.Bug.Fingerprint = campaign + "/" + name
+		if err := WriteBundle(dir, b); err != nil {
+			t.Fatal(err)
+		}
+		mod := time.Now().Add(-age)
+		if err := os.Chtimes(filepath.Join(dir, BugFile), mod, mod); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	oldest := write("c0001", "0001-inter", 3*time.Hour)
+	mid := write("c0001", "0002-sync", 2*time.Hour)
+	newest := write("c0002", "0001-inter", time.Hour)
+
+	removed, err := GC(root, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || removed[0] != oldest || removed[1] != mid {
+		t.Fatalf("removed = %v, want [%s %s]", removed, oldest, mid)
+	}
+	if _, err := os.Stat(newest); err != nil {
+		t.Fatalf("newest bundle gone: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "c0001")); !os.IsNotExist(err) {
+		t.Fatalf("emptied campaign dir still present (err=%v)", err)
+	}
+
+	// Under budget: nothing to do. retain <= 0 disables GC entirely.
+	if removed, err := GC(root, 5); err != nil || len(removed) != 0 {
+		t.Fatalf("under-budget GC removed %v (err=%v)", removed, err)
+	}
+	if removed, err := GC(root, 0); err != nil || len(removed) != 0 {
+		t.Fatalf("disabled GC removed %v (err=%v)", removed, err)
+	}
+}

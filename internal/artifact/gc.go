@@ -1,0 +1,83 @@
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// bundleRef is one on-disk bundle located by GC.
+type bundleRef struct {
+	path string
+	mod  time.Time
+}
+
+// GC enforces a retention budget over every bundle below root: when more
+// than retain bundles exist, the oldest (by bug.json modification time,
+// ties broken by path) are deleted until the budget holds, and empty
+// campaign directories left behind are removed. A bundle is any directory
+// up to two levels below root containing bug.json — both a campaign's flat
+// artifact directory (root/0001-inter) and the pmraced layout
+// (root/<campaign-id>/0001-inter) are covered. retain <= 0 disables GC.
+// The removed bundle paths are returned.
+func GC(root string, retain int) ([]string, error) {
+	if retain <= 0 {
+		return nil, nil
+	}
+	bundles, err := findBundles(root, 2)
+	if err != nil || len(bundles) <= retain {
+		return nil, err
+	}
+	sort.Slice(bundles, func(i, j int) bool {
+		if !bundles[i].mod.Equal(bundles[j].mod) {
+			return bundles[i].mod.Before(bundles[j].mod)
+		}
+		return bundles[i].path < bundles[j].path
+	})
+	var removed []string
+	for _, b := range bundles[:len(bundles)-retain] {
+		if err := os.RemoveAll(b.path); err != nil {
+			return removed, fmt.Errorf("artifact: gc removing %s: %w", b.path, err)
+		}
+		removed = append(removed, b.path)
+		// Drop the parent campaign directory when the bundle was its last
+		// content (os.Remove refuses non-empty directories).
+		if parent := filepath.Dir(b.path); parent != filepath.Clean(root) {
+			_ = os.Remove(parent)
+		}
+	}
+	return removed, nil
+}
+
+// findBundles walks up to depth levels below root collecting directories
+// that hold a bug.json. A missing root yields no bundles.
+func findBundles(root string, depth int) ([]bundleRef, error) {
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("artifact: gc reading %s: %w", root, err)
+	}
+	var out []bundleRef
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		if fi, err := os.Stat(filepath.Join(dir, BugFile)); err == nil {
+			out = append(out, bundleRef{path: dir, mod: fi.ModTime()})
+			continue
+		}
+		if depth > 1 {
+			sub, err := findBundles(dir, depth-1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+	}
+	return out, nil
+}

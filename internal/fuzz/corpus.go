@@ -47,16 +47,32 @@ func LoadCorpus(dir string, threads int) ([]*workload.Seed, error) {
 	return out, nil
 }
 
-// SaveSeed writes a seed into dir as NNNNNN.seed, returning the path.
-func SaveSeed(dir string, n int, seed *workload.Seed) (string, error) {
+// SaveSeed writes a seed into dir as NNNNNN.seed, returning the path and
+// the number actually used. The file is created exclusively (O_EXCL),
+// skipping forward past occupied numbers, so concurrent campaigns sharing a
+// corpus directory — the pmraced per-target shared corpus — never clobber
+// each other's seeds.
+func SaveSeed(dir string, n int, seed *workload.Seed) (string, int, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", err
+		return "", n, err
 	}
-	path := filepath.Join(dir, fmt.Sprintf("%06d.seed", n))
-	if err := os.WriteFile(path, []byte(seed.Encode()), 0o644); err != nil {
-		return "", err
+	data := []byte(seed.Encode())
+	for {
+		path := filepath.Join(dir, fmt.Sprintf("%06d.seed", n))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if os.IsExist(err) {
+			n++
+			continue
+		}
+		if err != nil {
+			return "", n, err
+		}
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			return "", n, err
+		}
+		return path, n, f.Close()
 	}
-	return path, nil
 }
 
 // saveCorpusSeed persists a coverage-improving seed when a corpus directory
@@ -68,11 +84,14 @@ func (f *Fuzzer) saveCorpusSeed(seed *workload.Seed) {
 	}
 	f.mu.Lock()
 	n := f.savedSeeds
-	f.savedSeeds++
 	f.mu.Unlock()
-	if _, err := SaveSeed(f.opts.CorpusDir, n, seed); err != nil {
-		f.mu.Lock()
-		f.corpusErr = err
-		f.mu.Unlock()
+	_, used, err := SaveSeed(f.opts.CorpusDir, n, seed)
+	f.mu.Lock()
+	if used >= f.savedSeeds {
+		f.savedSeeds = used + 1
 	}
+	if err != nil {
+		f.corpusErr = err
+	}
+	f.mu.Unlock()
 }

@@ -50,10 +50,10 @@ type ExecResult struct {
 	// Signature is the execution's outcome fingerprint (alias-coverage
 	// hash, dirty-word set hash); the fuzzer's interleaving-equivalence
 	// pruning keys on it.
-	Signature sched.OutcomeSig
-	Duration        time.Duration
-	SetupDuration   time.Duration
-	ExecErrors      int
+	Signature     sched.OutcomeSig
+	Duration      time.Duration
+	SetupDuration time.Duration
+	ExecErrors    int
 }
 
 // InterInconsistencies counts detected cross-thread inconsistencies.
@@ -100,7 +100,7 @@ type ExecOptions struct {
 	// grows monotonically), so a stale answer costs one redundant capture,
 	// never a lost one.
 	KnownInconsistency func([3]uint32) bool
-	KnownSync func(*core.SyncInconsistency) bool
+	KnownSync          func(*core.SyncInconsistency) bool
 }
 
 // Executor runs fuzz campaign executions against one target.

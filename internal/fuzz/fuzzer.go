@@ -927,20 +927,20 @@ func (f *Fuzzer) Snapshot() obs.Stats {
 	f.mu.Unlock()
 
 	st := obs.Stats{
-		Target:             f.targetName,
-		Mode:               f.opts.Mode.String(),
-		Execs:              execs,
-		Seeds:              seeds,
-		BranchCov:          br,
-		AliasCov:           al,
-		Inconsistencies:    len(f.db.Inconsistencies()) + len(f.db.Syncs()),
-		Bugs:               len(f.db.UniqueBugs()),
+		Target:              f.targetName,
+		Mode:                f.opts.Mode.String(),
+		Execs:               execs,
+		Seeds:               seeds,
+		BranchCov:           br,
+		AliasCov:            al,
+		Inconsistencies:     len(f.db.Inconsistencies()) + len(f.db.Syncs()),
+		Bugs:                len(f.db.UniqueBugs()),
 		Elapsed:             elapsed,
 		Interleavings:       f.em.Registry().Counter(obs.MInterleavings).Value(),
 		InterleavingsPruned: f.em.Registry().Counter(obs.MInterleavingsPruned).Value(),
 		CheckpointRestores:  f.em.Registry().Counter(obs.MCheckpointRestores).Value(),
-		Validations:        f.em.Registry().Counter(obs.MValidations).Value(),
-		EventsDropped:      f.em.Dropped(),
+		Validations:         f.em.Registry().Counter(obs.MValidations).Value(),
+		EventsDropped:       f.em.Dropped(),
 	}
 	if elapsed > 0 {
 		st.ExecsPerSec = float64(execs) / elapsed.Seconds()

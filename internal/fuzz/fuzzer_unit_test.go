@@ -178,11 +178,13 @@ func TestCorpusSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	gen := workload.NewGenerator(1, 8, 4)
 	s1, s2 := gen.NewSeed(12), gen.HotKeySeed(8)
-	if _, err := SaveSeed(dir, 0, s1); err != nil {
+	if _, _, err := SaveSeed(dir, 0, s1); err != nil {
 		t.Fatalf("save: %v", err)
 	}
-	if _, err := SaveSeed(dir, 1, s2); err != nil {
-		t.Fatalf("save: %v", err)
+	// Same requested number: exclusive creation skips forward instead of
+	// clobbering (concurrent campaigns share corpus directories).
+	if _, n, err := SaveSeed(dir, 0, s2); err != nil || n != 1 {
+		t.Fatalf("save: n=%d err=%v, want n=1", n, err)
 	}
 	loaded, err := LoadCorpus(dir, 4)
 	if err != nil {

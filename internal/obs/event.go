@@ -183,6 +183,12 @@ func (*CampaignDone) Kind() Kind { return KindCampaignDone }
 type Stats struct {
 	Target string `json:"target"`
 	Mode   string `json:"mode"`
+	// State is the campaign lifecycle state ("pending", "running",
+	// "draining", "done", "cancelled", "failed") — the typed api.State
+	// enum as a string. The fuzzer itself leaves it empty; the campaign
+	// wrappers (pmrace.Campaign, pmraced) stamp it into the snapshots
+	// they serve, replacing the old ad-hoc phase strings.
+	State string `json:"state,omitempty"`
 	// Execs and Seeds mirror Result.Execs/Result.Seeds.
 	Execs int `json:"execs"`
 	Seeds int `json:"seeds"`

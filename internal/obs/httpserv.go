@@ -115,18 +115,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// handleEvents streams the campaign event feed as SSE. Each event becomes
-// one frame: `event:` carries the kind, `id:` the emitter sequence number,
-// and `data:` the same envelope JSONLSink writes per line. The stream ends
-// when the emitter closes (campaign done), the client disconnects, or the
-// server shuts down.
+// handleEvents streams the campaign event feed as SSE.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ServeSSE(w, r, s.em)
+}
+
+// ServeSSE streams em's event feed to one HTTP client as Server-Sent
+// Events. Each event becomes one frame: `event:` carries the kind, `id:`
+// the emitter sequence number, and `data:` the same envelope JSONLSink
+// writes per line. The stream ends when the emitter closes (campaign done),
+// the client disconnects, or the request context is cancelled. Both the
+// single-campaign obs.Server and the pmraced control plane serve their
+// event endpoints through it, so the two streams cannot diverge in framing.
+func ServeSSE(w http.ResponseWriter, r *http.Request, em *Emitter) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	ch, unsub := s.em.SubscribeExtra(1024)
+	ch, unsub := em.SubscribeExtra(1024)
 	defer unsub()
 
 	w.Header().Set("Content-Type", "text/event-stream")

@@ -228,3 +228,54 @@ func TestWritePrometheusSortedAcrossKinds(t *testing.T) {
 		t.Fatal("exposition output not deterministic")
 	}
 }
+
+// TestWritePrometheusLabeled merges two registries under distinct campaign
+// labels: one # TYPE line per family, one labeled sample series per
+// registry, histogram buckets carrying the labels before le, and label
+// values escaped.
+func TestWritePrometheusLabeled(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter(MExecs).Add(3)
+	r2.Counter(MExecs).Add(5)
+	r1.Gauge(MBranchCov).Set(7)
+	r1.Histogram(HValidationLatency).Observe(time.Millisecond)
+
+	var b bytes.Buffer
+	err := WritePrometheusLabeled(&b,
+		LabeledRegistry{Labels: []Label{{"campaign", "c0001"}, {"target", "pclht"}}, Reg: r1},
+		LabeledRegistry{Labels: []Label{{"campaign", "c0002"}, {"target", `x"y`}}, Reg: r2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	if n := strings.Count(out, "# TYPE pmrace_fuzz_execs_total counter"); n != 1 {
+		t.Fatalf("exec family TYPE line appears %d times:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`pmrace_fuzz_execs_total{campaign="c0001",target="pclht"} 3`,
+		`pmrace_fuzz_execs_total{campaign="c0002",target="x\"y"} 5`,
+		`pmrace_cover_branch_bits{campaign="c0001",target="pclht"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing sample %q in:\n%s", want, out)
+		}
+	}
+	// Histogram samples carry the label set too: buckets merge it with le,
+	// sum/count wrap it alone.
+	if !strings.Contains(out, `_bucket{campaign="c0001",target="pclht",le=`) {
+		t.Errorf("histogram buckets not labeled:\n%s", out)
+	}
+	if !strings.Contains(out, `_count{campaign="c0001",target="pclht"} 1`) {
+		t.Errorf("histogram count not labeled:\n%s", out)
+	}
+	// The unlabeled single-registry form is unchanged.
+	var plain bytes.Buffer
+	if err := WritePrometheus(&plain, r1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plain.String(), "pmrace_fuzz_execs_total 3\n") {
+		t.Errorf("unlabeled exposition changed:\n%s", plain.String())
+	}
+}

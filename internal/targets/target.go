@@ -52,6 +52,14 @@ func Register(name string, f Factory) {
 	registry[name] = f
 }
 
+// Has reports whether a target name is registered, without instantiating.
+func Has(name string) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	_, ok := registry[name]
+	return ok
+}
+
 // New instantiates a registered target.
 func New(name string) (Target, error) {
 	regMu.Lock()

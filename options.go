@@ -22,9 +22,13 @@ type campaignConfig struct {
 	httpAddr         string
 }
 
-// WithOptions replaces the whole legacy Options struct at once — the escape
-// hatch for configurations assembled before the functional-options API, and
-// what the deprecated Fuzz wrapper uses.
+// WithOptions replaces the whole legacy Options struct at once.
+//
+// Deprecated: every Options knob now has a dedicated functional option (see
+// the option table in README.md); compose those instead. WithOptions
+// remains only for configurations assembled as a struct before the
+// functional-options API, and it composes badly: it overwrites every knob
+// set by options that appear before it.
 func WithOptions(opts Options) CampaignOption {
 	return func(c *campaignConfig) { c.opts = opts }
 }
@@ -136,6 +140,44 @@ func WithEventBuffer(n int) CampaignOption {
 // server lives for the campaign's duration.
 func WithHTTPAddr(addr string) CampaignOption {
 	return func(c *campaignConfig) { c.httpAddr = addr }
+}
+
+// WithHangTimeout bounds each thread's lock acquisition during pre-failure
+// execution; a thread exceeding it is declared hung (default 80ms,
+// simulation-scaled from the paper's timings).
+func WithHangTimeout(d time.Duration) CampaignOption {
+	return func(c *campaignConfig) { c.opts.HangTimeout = d }
+}
+
+// WithRedundantThreshold sets the dynamic-occurrence count above which a
+// redundant-store site is reported as an "Other" finding (default 100).
+func WithRedundantThreshold(n int) CampaignOption {
+	return func(c *campaignConfig) { c.opts.RedundantThreshold = n }
+}
+
+// WithExecsPerInterleaving sets the execution-tier repetition count: how
+// many times each seed (and each scheduled interleaving) is executed
+// (default 2).
+func WithExecsPerInterleaving(n int) CampaignOption {
+	return func(c *campaignConfig) { c.opts.ExecsPerInterleaving = n }
+}
+
+// WithMaxInterleavingsPerSeed bounds how many interleaving-tier queue
+// entries are scheduled per seed iteration (default 6).
+func WithMaxInterleavingsPerSeed(n int) CampaignOption {
+	return func(c *campaignConfig) { c.opts.MaxInterleavingsPerSeed = n }
+}
+
+// WithoutInterleavingTier ablates interleaving-tier exploration ("w/o IE",
+// Figure 9).
+func WithoutInterleavingTier() CampaignOption {
+	return func(c *campaignConfig) { c.opts.DisableInterleavingTier = true }
+}
+
+// WithoutSeedTier ablates seed-tier evolution ("w/o SE", Figure 9): the
+// corpus never grows beyond the initial seeds.
+func WithoutSeedTier() CampaignOption {
+	return func(c *campaignConfig) { c.opts.DisableSeedTier = true }
 }
 
 // WithMaxCrashStates caps the crash states enumerated and validated per

@@ -48,7 +48,7 @@
 //
 // # Migrating from Fuzz
 //
-// The old blocking call is a thin wrapper now; replace
+// The old blocking pmrace.Fuzz(target, opts) call has been removed; replace
 //
 //	res, err := pmrace.Fuzz("pclht", pmrace.Options{MaxExecs: 100, Workers: 8})
 //
@@ -60,7 +60,10 @@
 //	res, err := c.Wait()
 //
 // and attach pmrace.WithJSONTrace / pmrace.WithProgress / pmrace.WithSink
-// for observability the old API could not offer.
+// for observability the old API could not offer. Campaigns can also run as
+// a service: cmd/pmraced schedules many concurrent campaigns over a shared
+// worker budget behind a versioned REST API (package api defines the wire
+// contract, package client consumes it).
 //
 // # Testing your own PM data structure
 //
@@ -73,8 +76,6 @@
 package pmrace
 
 import (
-	"context"
-
 	"github.com/pmrace-go/pmrace/internal/core"
 	"github.com/pmrace-go/pmrace/internal/fuzz"
 	"github.com/pmrace-go/pmrace/internal/pmem"
@@ -173,22 +174,7 @@ type (
 	Seed = workload.Seed
 )
 
-// Fuzz runs PMRace against a registered target until the execution or time
-// budget in opts is exhausted.
-//
-// Deprecated: use NewCampaign, which adds a streaming event API, live
-// statistics snapshots, and context cancellation (see the package comment
-// for a migration example). Fuzz remains as a one-line compatibility
-// wrapper: NewCampaign + Wait with no sinks attached.
-func Fuzz(target string, opts Options) (*Result, error) {
-	c, err := NewCampaign(context.Background(), target, WithOptions(opts))
-	if err != nil {
-		return nil, err
-	}
-	return c.Wait()
-}
-
-// RegisterTarget adds a PM system to the registry so Fuzz can run it.
+// RegisterTarget adds a PM system to the registry so campaigns can run it.
 func RegisterTarget(name string, factory Factory) { targets.Register(name, factory) }
 
 // Targets lists the registered PM systems.

@@ -1,6 +1,9 @@
 package pmrace_test
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -24,8 +27,17 @@ func TestTargetsRegistered(t *testing.T) {
 }
 
 func TestFuzzUnknownTarget(t *testing.T) {
-	if _, err := pmrace.Fuzz("no-such-system", pmrace.Options{}); err == nil {
+	_, err := pmrace.NewCampaign(context.Background(), "no-such-system")
+	if err == nil {
 		t.Fatalf("unknown target must error")
+	}
+	// The failure is typed — callers (the pmraced control plane maps it to
+	// an HTTP 400) match it with errors.Is — and names the alternatives.
+	if !errors.Is(err, pmrace.ErrUnknownTarget) {
+		t.Fatalf("err = %v, want errors.Is ErrUnknownTarget", err)
+	}
+	if !strings.Contains(err.Error(), "no-such-system") || !strings.Contains(err.Error(), "pclht") {
+		t.Fatalf("error %q does not name the offender and the registered targets", err)
 	}
 }
 
@@ -33,11 +45,14 @@ func TestFuzzSmokeRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fuzzing campaign")
 	}
-	res, err := pmrace.Fuzz("clevel", pmrace.Options{
-		MaxExecs: 6,
-		Duration: 30 * time.Second,
-		Seed:     3,
-	})
+	c, err := pmrace.NewCampaign(context.Background(), "clevel",
+		pmrace.WithBudget(6, 30*time.Second),
+		pmrace.WithSeed(3),
+	)
+	if err != nil {
+		t.Fatalf("fuzz: %v", err)
+	}
+	res, err := c.Wait()
 	if err != nil {
 		t.Fatalf("fuzz: %v", err)
 	}
