@@ -29,6 +29,7 @@
 //	GET    /api/v1/campaigns/{id}/events    Server-Sent Events stream
 //	GET    /api/v1/campaigns/{id}/artifacts bundle listing ([]ArtifactInfo)
 //	GET    /api/v1/campaigns/{id}/artifacts/{name}  one bundle (ArtifactBundle)
+//	GET    /api/v1/campaigns/{id}/trace     span timeline (Chrome trace-event JSON)
 //
 // The SSE stream frames events exactly like a single campaign's /events
 // endpoint: `event:` carries the kind, `id:` the emitter sequence number and
@@ -124,6 +125,10 @@ type CampaignSpec struct {
 	// judged finding.
 	Artifacts    bool `json:"artifacts,omitempty"`
 	ArtifactsAll bool `json:"artifacts_all,omitempty"`
+	// TraceSample overrides the server's span-sampling rate for this
+	// campaign: 0 keeps the server default, N>0 samples every Nth
+	// execution's spans, negative disables tracing entirely.
+	TraceSample int `json:"trace_sample,omitempty"`
 }
 
 // Campaign is one campaign as the control plane reports it.
@@ -202,6 +207,9 @@ type ArtifactBundle struct {
 	Schedule map[string]any `json:"schedule,omitempty"`
 	Trace    []any          `json:"trace,omitempty"`
 	PMDiff   []any          `json:"pmdiff,omitempty"`
+	// Spans is the campaign span snapshot captured when the bundle was
+	// written (spans.json); empty when the campaign ran untraced.
+	Spans []any `json:"spans,omitempty"`
 }
 
 // Error codes. Append-only; clients switch on Code, not Message.

@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/pmrace-go/pmrace/internal/obs"
 	"github.com/pmrace-go/pmrace/internal/pmem"
 	"github.com/pmrace-go/pmrace/internal/rt"
 	"github.com/pmrace-go/pmrace/internal/taint"
@@ -119,6 +120,68 @@ func BenchmarkObsTraceSnapshot(b *testing.B) {
 	}
 }
 
+// BenchmarkObsSpanDisabled measures the span-subsystem cost with tracing
+// disabled: Start must be one atomic load plus a branch, End a nil check —
+// zero allocations. This is the price every instrumented call site pays in an
+// untraced campaign.
+func BenchmarkObsSpanDisabled(b *testing.B) {
+	tr := obs.NewTracer(nil, 8)
+	tr.SetEnabled(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(1, obs.SpanExecRun)
+		sp.End()
+	}
+}
+
+// BenchmarkObsSpanSampled measures the steady-state cost of the default
+// sampled configuration: every call pays the Sample() atomic, one in 8 pays
+// the full span record.
+func BenchmarkObsSpanSampled(b *testing.B) {
+	tr := obs.NewTracer(obs.NewRegistry(), 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane := -1
+		if tr.Sample() {
+			lane = 1
+		}
+		sp := tr.Start(lane, obs.SpanExecRun)
+		sp.End()
+	}
+}
+
+// BenchmarkObsSpanEnabled measures the full span record: clock reads, flight
+// ring insert and histogram observe. This is what a sampled execution pays
+// per span.
+func BenchmarkObsSpanEnabled(b *testing.B) {
+	tr := obs.NewTracer(obs.NewRegistry(), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(1, obs.SpanExecRun)
+		sp.End()
+	}
+}
+
+// BenchmarkObsFlightSnapshot measures merging a full flight recorder into
+// start order — the anomaly-dump / timeline-export path.
+func BenchmarkObsFlightSnapshot(b *testing.B) {
+	tr := obs.NewTracer(nil, 1)
+	for i := 0; i < 8192; i++ {
+		sp := tr.Start(1, obs.SpanExecRun)
+		sp.End()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(tr.Spans()) == 0 {
+			b.Fatal("empty recorder")
+		}
+	}
+}
+
 // TestObsBenchJSON regenerates BENCH_obs.json with the tracing-overhead
 // numbers. Gated like TestHotpathBenchJSON.
 func TestObsBenchJSON(t *testing.T) {
@@ -134,6 +197,10 @@ func TestObsBenchJSON(t *testing.T) {
 		{"hook_load64_traced", BenchmarkObsHookLoad64Traced},
 		{"hook_store64_traced_parallel4", BenchmarkObsHookStore64TracedParallel},
 		{"trace_snapshot", BenchmarkObsTraceSnapshot},
+		{"span_disabled", BenchmarkObsSpanDisabled},
+		{"span_sampled_rate8", BenchmarkObsSpanSampled},
+		{"span_enabled", BenchmarkObsSpanEnabled},
+		{"span_flight_snapshot", BenchmarkObsFlightSnapshot},
 	}
 	type microResult struct {
 		NsPerOp     float64 `json:"ns_per_op"`
@@ -146,7 +213,7 @@ func TestObsBenchJSON(t *testing.T) {
 		Micro    map[string]microResult `json:"micro"`
 	}{
 		Date: time.Now().UTC().Format(time.RFC3339),
-		Note: "trace ring sharded per-thread (per-shard mutex + atomic global seq ticket), merged by Seq in snapshot; baseline_single_mutex_ns measured on the pre-sharding global-mutex ring on the same host. Hook store/load with tracing improve via the per-Thread cached shard pointer (no modulo/ring indirection per access); the ring-add micro pays ~4ns for the global order ticket (see internal/rt BenchmarkTraceAdd* for the in-binary A/B) but no longer serializes concurrent workers.",
+		Note: "trace ring sharded per-thread (per-shard mutex + atomic global seq ticket), merged by Seq in snapshot; baseline_single_mutex_ns measured on the pre-sharding global-mutex ring on the same host. Hook store/load with tracing improve via the per-Thread cached shard pointer (no modulo/ring indirection per access); the ring-add micro pays ~4ns for the global order ticket (see internal/rt BenchmarkTraceAdd* for the in-binary A/B) but no longer serializes concurrent workers. span_* rows cover the span-tracing subsystem: span_disabled is the per-call-site cost in an untraced campaign (one atomic load, 0 allocs — the PM access hooks are never on the span path at all), span_sampled_rate8 the steady-state default, span_enabled one full span record, span_flight_snapshot the anomaly-dump/export merge of a full 4096-span recorder.",
 		Baseline: map[string]float64{
 			"hook_store64_untraced":         225.4,
 			"hook_store64_traced":           243.2,

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"strings"
 
 	"github.com/pmrace-go/pmrace/api"
@@ -85,11 +86,13 @@ func NewJSONLSink(w io.Writer) Sink { return obs.NewJSONLSink(w) }
 type Campaign struct {
 	fz       *fuzz.Fuzzer
 	em       *obs.Emitter
+	tr       *obs.Tracer
 	ctx      context.Context
 	events   <-chan obs.Event
 	done     chan struct{}
 	httpSrv  *obs.Server
 	httpAddr string
+	sampler  *obs.RuntimeSampler
 	res      *Result
 	err      error
 }
@@ -137,8 +140,17 @@ func NewCampaign(ctx context.Context, target string, options ...CampaignOption) 
 	fz.SetEmitter(em)
 
 	c := &Campaign{fz: fz, em: em, ctx: ctx, events: events, done: make(chan struct{})}
+	if cfg.traceSample > 0 {
+		c.tr = obs.NewTracer(em.Registry(), cfg.traceSample)
+		c.tr.SetMeta("local", target)
+		if cfg.opts.ArtifactDir != "" {
+			c.tr.SetAnomalyDir(filepath.Join(cfg.opts.ArtifactDir, "anomalies"))
+		}
+		fz.SetTracer(c.tr)
+	}
 	if cfg.httpAddr != "" {
 		srv := obs.NewServer(em, func() any { return c.Snapshot() })
+		srv.SetTracer(c.tr)
 		bound, err := srv.Start(cfg.httpAddr)
 		if err != nil {
 			em.Close()
@@ -146,6 +158,9 @@ func NewCampaign(ctx context.Context, target string, options ...CampaignOption) 
 		}
 		c.httpSrv = srv
 		c.httpAddr = bound
+		// The introspection server implies someone is scraping /metrics:
+		// feed it runtime self-telemetry at 1 Hz.
+		c.sampler = obs.StartRuntimeSampler(em.Registry(), 0)
 	}
 	go func() {
 		defer close(c.done)
@@ -155,9 +170,30 @@ func NewCampaign(ctx context.Context, target string, options ...CampaignOption) 
 		// and /events SSE streams; the HTTP server goes down after its
 		// streams have drained.
 		c.em.Close()
+		c.sampler.Close()
 		c.httpSrv.Close()
 	}()
 	return c, nil
+}
+
+// Spans returns the campaign's recorded span timeline (oldest first), or nil
+// when tracing was not enabled (see WithTracing). The flight recorder is
+// bounded: a long campaign retains its most recent spans.
+func (c *Campaign) Spans() []obs.Span {
+	if c.tr == nil {
+		return nil
+	}
+	return c.tr.Spans()
+}
+
+// WriteTrace writes the campaign's span timeline to w as Chrome trace-event
+// JSON, loadable in ui.perfetto.dev or chrome://tracing. It errors when
+// tracing was not enabled.
+func (c *Campaign) WriteTrace(w io.Writer) error {
+	if c.tr == nil {
+		return errors.New("pmrace: tracing not enabled (use WithTracing)")
+	}
+	return c.tr.WriteChrome(w)
 }
 
 // HTTPAddr returns the bound address of the campaign's introspection server

@@ -185,6 +185,27 @@ func (c *Client) Artifact(ctx context.Context, id, name string) (*api.ArtifactBu
 	return &out, nil
 }
 
+// Trace fetches a campaign's span timeline as raw Chrome trace-event JSON —
+// the document is written to disk or piped into a viewer (ui.perfetto.dev)
+// verbatim, so the client does not decode it. Campaigns running with tracing
+// disabled yield a not_found api.Error.
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+api.BasePath+"/campaigns/"+url.PathEscape(id)+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // Events subscribes to a campaign's SSE stream and decodes it back into
 // typed events — the same stream Campaign.Events delivers in-process. The
 // channel closes when the campaign ends (the server closes the stream after

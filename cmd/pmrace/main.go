@@ -18,6 +18,7 @@
 //	pmrace status -server http://host:7762 [-id c0001]
 //	pmrace cancel -server http://host:7762 -id c0001 -wait
 //	pmrace logs   -server http://host:7762 -id c0001
+//	pmrace trace  -server http://host:7762 c0001 > timeline.json
 //
 // With -json the typed event stream (exec_done, seed_accepted,
 // inconsistency_found, validation_verdict, bug_confirmed, campaign_done,
@@ -58,7 +59,7 @@ func run() int {
 	// control plane; everything else is the local flag CLI.
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
-		case "submit", "status", "cancel", "logs":
+		case "submit", "status", "cancel", "logs", "trace":
 			return runRemote(os.Args[1], os.Args[2:])
 		}
 	}
@@ -78,7 +79,9 @@ func run() int {
 		artifact  = flag.String("artifact", "", "replay one forensic bug bundle directory and exit (0 = reproduced)")
 		artifacts = flag.String("artifacts", "", "write a forensic bundle per confirmed bug into this directory")
 		artAll    = flag.Bool("artifacts-all", false, "with -artifacts: also bundle validated/whitelisted false positives")
-		httpAddr  = flag.String("http", "", "serve live introspection (/metrics /status /events /healthz /debug/pprof) on this address")
+		httpAddr  = flag.String("http", "", "serve live introspection (/metrics /status /events /trace /healthz /debug/pprof) on this address")
+		traceFlag = flag.Bool("trace", false, "record a span timeline (flight recorder + Chrome trace-event export on /trace)")
+		traceSmpl = flag.Int("trace-sample", 0, "with -trace: record per-exec spans for every Nth execution (0 = default 8)")
 		jsonOut   = flag.Bool("json", false, "stream the event trace as JSONL to stdout (summary goes to stderr)")
 		progress  = flag.Bool("progress", false, "render a 1 Hz status line while fuzzing")
 		verbose   = flag.Bool("v", false, "print full per-inconsistency reports")
@@ -159,6 +162,9 @@ func run() int {
 	}
 	if *httpAddr != "" {
 		options = append(options, pmrace.WithHTTPAddr(*httpAddr))
+	}
+	if *traceFlag || *traceSmpl > 0 {
+		options = append(options, pmrace.WithTracing(*traceSmpl))
 	}
 	// The human-readable stream: stdout normally, stderr when stdout
 	// carries the JSONL trace.

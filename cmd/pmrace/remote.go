@@ -34,8 +34,10 @@ func runRemote(cmd string, args []string) int {
 		return runCancel(args)
 	case "logs":
 		return runLogs(args)
+	case "trace":
+		return runTrace(args)
 	default:
-		fmt.Fprintf(os.Stderr, "pmrace: unknown command %q (want submit, status, cancel or logs)\n", cmd)
+		fmt.Fprintf(os.Stderr, "pmrace: unknown command %q (want submit, status, cancel, logs or trace)\n", cmd)
 		return 2
 	}
 }
@@ -59,6 +61,7 @@ func runSubmit(args []string) int {
 		seed      = fs.Int64("seed", 0, "random seed (0 = unseeded default)")
 		artifacts = fs.Bool("artifacts", false, "write a forensic bundle per confirmed bug (fetch via the artifacts endpoints)")
 		artAll    = fs.Bool("artifacts-all", false, "with -artifacts: also bundle validated/whitelisted false positives")
+		traceSmpl = fs.Int("trace-sample", 0, "span-sampling rate: 0 = server default, N samples every Nth exec, negative disables tracing")
 		wait      = fs.Bool("wait", false, "block until the campaign is terminal and print its final document")
 		jsonOut   = fs.Bool("json", false, "print campaign documents as JSON")
 	)
@@ -72,7 +75,7 @@ func runSubmit(args []string) int {
 	doc, err := cl.Submit(ctx, api.CampaignSpec{
 		Target: *target, Mode: *mode, Workers: *workers, Threads: *threads,
 		MaxExecs: *execs, Duration: *duration, Seed: *seed,
-		Artifacts: *artifacts, ArtifactsAll: *artAll,
+		Artifacts: *artifacts, ArtifactsAll: *artAll, TraceSample: *traceSmpl,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmrace: submit: %v\n", err)

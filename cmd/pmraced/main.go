@@ -47,6 +47,7 @@ func run() int {
 		retention    = flag.Int("retention", 0, "artifact bundles retained across campaigns (0 = unlimited)")
 		maxCampaigns = flag.Int("max-campaigns", 64, "campaigns tracked at once (queued and terminal included)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on graceful drain at shutdown")
+		traceSample  = flag.Int("trace-sample", 0, "default span-sampling rate per campaign: 0 = every 8th exec, negative disables tracing")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func run() int {
 		DataDir:      *data,
 		Retention:    *retention,
 		DrainTimeout: *drainTimeout,
+		TraceSample:  *traceSample,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmraced: %v\n", err)

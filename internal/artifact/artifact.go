@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/obs"
 	"github.com/pmrace-go/pmrace/internal/pmem"
 	"github.com/pmrace-go/pmrace/internal/rt"
 	"github.com/pmrace-go/pmrace/internal/site"
@@ -27,6 +28,7 @@ const (
 	ScheduleFile = "schedule.json"
 	TraceFile    = "trace.json"
 	PMDiffFile   = "pmdiff.json"
+	SpansFile    = "spans.json"
 )
 
 // Range is a byte range in the pool.
@@ -151,6 +153,9 @@ type Bundle struct {
 	Schedule Schedule
 	Trace    []TraceEntry
 	PMDiff   []DirtyWord
+	// Spans is the campaign flight recorder's last-N spans at bundle time
+	// (spans.json): the wall-clock timeline leading up to the finding.
+	Spans []obs.Span
 }
 
 // siteStr resolves a site ID to its stable file:line string.
@@ -381,7 +386,16 @@ func WriteBundle(dir string, b *Bundle) error {
 	if err := writeJSON(filepath.Join(dir, TraceFile), b.Trace); err != nil {
 		return err
 	}
-	return writeJSON(filepath.Join(dir, PMDiffFile), b.PMDiff)
+	if err := writeJSON(filepath.Join(dir, PMDiffFile), b.PMDiff); err != nil {
+		return err
+	}
+	spans := b.Spans
+	if spans == nil {
+		// spans.json is always present — an untraced campaign writes an
+		// empty list, so consumers never special-case its absence.
+		spans = []obs.Span{}
+	}
+	return writeJSON(filepath.Join(dir, SpansFile), spans)
 }
 
 // Load reads a bundle back from dir. bug.json and seed.txt are required;
@@ -407,6 +421,9 @@ func Load(dir string) (*Bundle, error) {
 		return nil, err
 	}
 	if err := readJSON(filepath.Join(dir, PMDiffFile), &b.PMDiff); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	if err := readJSON(filepath.Join(dir, SpansFile), &b.Spans); err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
 	return b, nil

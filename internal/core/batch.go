@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/pmrace-go/pmrace/internal/cover"
 	"github.com/pmrace-go/pmrace/internal/pmem"
@@ -47,6 +48,9 @@ type BatchAnalyzer struct {
 	det   *Detector
 	alias *cover.Bitmap
 
+	batches atomic.Int64
+	records atomic.Int64
+
 	collectStats bool
 	statsMu      sync.Mutex
 	stats        map[pmem.Addr]*sched.AddrStats
@@ -70,6 +74,8 @@ func NewBatchAnalyzer(det *Detector, alias *cover.Bitmap, collectStats bool) *Ba
 // all records of a batch share the epoch). Records are processed in program
 // order.
 func (b *BatchAnalyzer) Process(tid pmem.ThreadID, clock uint32, recs []LogRecord) {
+	b.batches.Add(1)
+	b.records.Add(int64(len(recs)))
 	for i := range recs {
 		r := &recs[i]
 		if r.Prev.Valid && r.Prev.Thread != tid {
@@ -110,6 +116,15 @@ func (b *BatchAnalyzer) Stats() map[pmem.Addr]*sched.AddrStats {
 		out[a] = c
 	}
 	return out
+}
+
+// Counts returns how many batches and log records the analyzer has
+// processed, for span attribution of conflict-analysis cost.
+func (b *BatchAnalyzer) Counts() (batches, records int64) {
+	if b == nil {
+		return 0, 0
+	}
+	return b.batches.Load(), b.records.Load()
 }
 
 // Clock returns the epoch the analyzer has observed from thread tid: one past

@@ -1,7 +1,9 @@
 package fuzz
 
 import (
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pmrace-go/pmrace/internal/core"
@@ -112,6 +114,10 @@ type Executor struct {
 	mRestores *obs.Counter
 	hExec     *obs.Histogram
 
+	// tr records execution spans for sampled runs; nil (no-op) until
+	// SetTracer.
+	tr *obs.Tracer
+
 	snapMu sync.Mutex
 	snap   *pmem.Snapshot
 
@@ -139,6 +145,9 @@ func (x *Executor) SetEmitter(em *obs.Emitter) {
 	x.mRestores = em.Registry().Counter(obs.MCheckpointRestores)
 	x.hExec = em.Registry().Histogram(obs.HExecLatency)
 }
+
+// SetTracer wires span recording for sampled executions. Call before Run.
+func (x *Executor) SetTracer(tr *obs.Tracer) { x.tr = tr }
 
 // newPool creates a pool honouring the executor's platform options.
 func (x *Executor) newPool(size uint64) *pmem.Pool {
@@ -169,9 +178,37 @@ func (x *Executor) checkpoint() (*pmem.Snapshot, error) {
 // execution begins from an empty, freshly initialized pool (or its
 // checkpoint) to avoid the side effects of previous pools (paper §4.5).
 func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, error) {
+	return x.RunTraced(seed, strat, -1)
+}
+
+// RunTraced is Run with span recording: lane >= 0 marks a sampled execution
+// and records an exec_run span (with conflict_analysis and crash_state_enum
+// children) on that lane; lane -1 records nothing. The per-access hooks are
+// never on the span path — only the execution's boundary work is timed.
+func (x *Executor) RunTraced(seed *workload.Seed, strat sched.Strategy, lane int) (*ExecResult, error) {
 	start := time.Now()
 	res := &ExecResult{}
 	var mu sync.Mutex // guards res' capture slices across worker threads
+
+	sp := x.tr.Start(lane, obs.SpanExecRun)
+	execID := int64(0)
+	if sp.Active() {
+		execID = x.tr.NextExec()
+		sp.SetExec(execID)
+	}
+	// Crash-state enumeration runs inside detection hooks on driver-thread
+	// goroutines, concurrent with the worker's own spans — each capture
+	// gets a detail lane of its own so lanes keep nesting properly.
+	var subLane atomic.Int32
+	crashSpan := func() obs.SpanCtx {
+		if !sp.Active() {
+			return obs.SpanCtx{}
+		}
+		l := obs.LaneExecDetailBase + lane*16 + int(subLane.Add(1)%14)
+		csp := x.tr.Start(l, obs.SpanCrashStateEnum)
+		csp.SetExec(execID)
+		return csp
+	}
 
 	var pool *pmem.Pool
 	fromCheckpoint := false
@@ -220,7 +257,10 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 			accs := e.RecentAccesses()
 			in.Trace = rt.FormatTrace(accs, 12)
 			in.Input = seed.Encode()
+			csp := crashSpan()
 			states := e.Pool().CrashStates([]pmem.Range{in.SideEffect}, x.opts.MaxCrashStates)
+			csp.SetAttr("states", strconv.Itoa(len(states)))
+			csp.End()
 			dirty := e.Pool().DirtyWords(maxDirtyWords)
 			mu.Lock()
 			res.Inconsistencies = append(res.Inconsistencies, CapturedInconsistency{In: in, States: states, Trace: accs, Dirty: dirty})
@@ -234,7 +274,10 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 				return
 			}
 			si.Input = seed.Encode()
+			csp := crashSpan()
 			states := e.Pool().CrashStates([]pmem.Range{{Off: si.Addr, Len: 8}}, x.opts.MaxCrashStates)
+			csp.SetAttr("states", strconv.Itoa(len(states)))
+			csp.End()
 			accs := e.RecentAccesses()
 			dirty := e.Pool().DirtyWords(maxDirtyWords)
 			mu.Lock()
@@ -303,7 +346,14 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 	ready.Wait()
 	close(gate)
 	wg.Wait()
+	asp := sp.Child(obs.SpanConflictAnalysis)
 	env.EndExec()
+	if asp.Active() {
+		batches, records := env.Batch().Counts()
+		asp.SetAttr("batches", strconv.FormatInt(batches, 10))
+		asp.SetAttr("records", strconv.FormatInt(records, 10))
+	}
+	asp.End()
 
 	res.Candidates = env.Detector().Candidates()
 	res.Redundant = env.Detector().RedundantStores()
@@ -328,5 +378,12 @@ func (x *Executor) Run(seed *workload.Seed, strat sched.Strategy) (*ExecResult, 
 	}
 	res.Duration = time.Since(start)
 	x.hExec.Observe(res.Duration)
+	if sp.Active() {
+		sp.SetAttr("setup_us", strconv.FormatInt(res.SetupDuration.Microseconds(), 10))
+		if fromCheckpoint {
+			sp.SetAttr("checkpoint", "true")
+		}
+	}
+	sp.End()
 	return res, nil
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -233,14 +235,19 @@ type Fuzzer struct {
 
 	// em is the observability hub; every campaign has one (sink-less by
 	// default). The handles below are its cached registry metrics.
-	em      *obs.Emitter
-	mExecs  *obs.Counter
-	mSeeds  *obs.Counter
-	mInterl *obs.Counter
-	mPruned *obs.Counter
-	mIncons *obs.Counter
-	gBranch *obs.Gauge
-	gAlias  *obs.Gauge
+	em       *obs.Emitter
+	mExecs   *obs.Counter
+	mSeeds   *obs.Counter
+	mInterl  *obs.Counter
+	mPruned  *obs.Counter
+	mIncons  *obs.Counter
+	gBranch  *obs.Gauge
+	gAlias   *obs.Gauge
+	hExecLat *obs.Histogram
+
+	// tr records lifecycle spans for sampled executions; nil (inert) unless
+	// SetTracer attached one.
+	tr *obs.Tracer
 
 	// equiv is the campaign-global schedule-equivalence table; queued
 	// interleavings whose class already ran without a novel outcome are
@@ -342,10 +349,21 @@ func (f *Fuzzer) SetEmitter(em *obs.Emitter) {
 	f.mIncons = reg.Counter(obs.MInconsistencies)
 	f.gBranch = reg.Gauge(obs.MBranchCov)
 	f.gAlias = reg.Gauge(obs.MAliasCov)
+	f.hExecLat = reg.Histogram(obs.HExecLatency)
 }
 
 // Emitter returns the campaign's observability emitter.
 func (f *Fuzzer) Emitter() *obs.Emitter { return f.em }
+
+// SetTracer attaches a span tracer to the campaign and its executor. Call
+// before Run; without one, tracing stays inert (nil-tracer no-ops).
+func (f *Fuzzer) SetTracer(tr *obs.Tracer) {
+	f.tr = tr
+	f.exec.SetTracer(tr)
+}
+
+// Tracer returns the campaign's span tracer, nil when tracing is disabled.
+func (f *Fuzzer) Tracer() *obs.Tracer { return f.tr }
 
 // Run executes the fuzzing loop until the execution or time budget is
 // exhausted and returns the aggregated result.
@@ -363,6 +381,10 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 	f.ctx = ctx
 	f.start = time.Now()
 	f.mu.Unlock()
+	csp := f.tr.Start(obs.LaneSupervisor, obs.SpanCampaign)
+	csp.SetAttr("target", f.targetName)
+	csp.SetAttr("mode", f.opts.Mode.String())
+	defer csp.End()
 	f.em.Emit(&obs.PhaseChange{Phase: "fuzzing", Prev: "init"})
 	if f.opts.ArtifactDir != "" && f.artifacts == nil {
 		w, err := artifact.NewWriter(f.opts.ArtifactDir)
@@ -420,10 +442,10 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 		f.valCh = make(chan *valJob, f.opts.ValidationWorkers*4)
 		for i := 0; i < f.opts.ValidationWorkers; i++ {
 			f.valWG.Add(1)
-			go func() {
+			go func(i int) {
 				defer f.valWG.Done()
 				for job := range f.valCh {
-					if err := f.validateJob(job); err != nil {
+					if err := f.validateJob(job, obs.LaneValidatorBase+i); err != nil {
 						f.mu.Lock()
 						if f.valErr == nil {
 							f.valErr = err
@@ -431,7 +453,7 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 						f.mu.Unlock()
 					}
 				}
-			}()
+			}(i)
 		}
 	}
 
@@ -492,7 +514,10 @@ func (f *Fuzzer) done() bool {
 // execution tier, then walk the priority queue for interleaving-tier
 // exploration (paper §4.2.3).
 func (f *Fuzzer) seedCampaign(rng *rand.Rand, worker int) error {
+	ssp := f.tr.Start(f.traceLane(worker), obs.SpanSeedPick)
 	seed := f.pickSeed(rng)
+	ssp.SetAttr("ops", strconv.Itoa(len(seed.Ops)))
+	ssp.End()
 
 	// Execution tier: base executions collecting coverage and the shared
 	// PM access statistics that feed the priority queue.
@@ -513,16 +538,26 @@ func (f *Fuzzer) seedCampaign(rng *rand.Rand, worker int) error {
 		queue := f.buildQueue()
 		scheduled := 0
 		for scheduled < f.opts.MaxInterleavingsPerSeed && !f.done() {
+			// The interleaving span covers the decision — queue pop,
+			// equivalence-pruning check, schedule choice — not the
+			// executions it leads to, which record their own spans.
+			isp := f.tr.Start(f.traceLane(worker), obs.SpanInterleaving)
 			entry := queue.Pop()
 			if entry == nil {
+				isp.End()
 				break
 			}
 			skip := f.skipFor(entry.Addr)
 			key := sched.EntrySignature(entry, skip)
+			isp.SetAttr("entry", entry.Describe())
+			isp.SetAttr("skip", strconv.Itoa(skip))
 			if f.equiv.ShouldPrune(key) {
+				isp.SetAttr("pruned", "true")
+				isp.End()
 				f.mPruned.Inc()
 				continue
 			}
+			isp.End()
 			scheduled++
 			f.mInterl.Inc()
 			f.em.Emit(&obs.InterleavingScheduled{
@@ -651,10 +686,19 @@ type runOutcome struct {
 	found    bool
 }
 
+// traceLane returns the span lane for one of worker's executions when the
+// tracer samples it, -1 (inert) otherwise.
+func (f *Fuzzer) traceLane(worker int) int {
+	if f.tr.Sample() {
+		return obs.LaneWorkerBase + worker
+	}
+	return -1
+}
+
 // runOne executes the seed once, validates new findings post-failure, and
 // merges everything into the global state.
 func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (runOutcome, error) {
-	res, err := f.exec.Run(seed, strat)
+	res, err := f.exec.RunTraced(seed, strat, f.traceLane(worker))
 	if err != nil {
 		return runOutcome{}, err
 	}
@@ -708,7 +752,7 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 			job.sd = sd
 			if f.valCh != nil {
 				f.valCh <- job
-			} else if err := f.validateJob(job); err != nil {
+			} else if err := f.validateJob(job, obs.LaneValidatorBase+worker); err != nil {
 				return runOutcome{}, err
 			}
 		}
@@ -791,6 +835,19 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 		Syncs:           len(res.Syncs),
 		Duration:        res.Duration,
 	})
+	// Anomaly triggers: a hang-watchdog trip or an execution beyond the
+	// campaign's p99.9 latency dumps the flight recorder (rate-limited, and
+	// only once the histogram has enough mass to make p99.9 meaningful).
+	if f.tr.Enabled() {
+		if len(res.Hangs) > 0 {
+			f.tr.DumpAnomaly("exec_hang")
+		}
+		if f.hExecLat.Count() >= 256 {
+			if p := f.hExecLat.Quantile(0.999); p > 0 && res.Duration > p {
+				f.tr.DumpAnomaly("exec_latency_p999")
+			}
+		}
+	}
 	return runOutcome{
 		improved: newBits > 0,
 		sig:      res.Signature,
@@ -817,14 +874,18 @@ type valJob struct {
 // verdict in the result database, writes the forensic artifact bundle when
 // warranted, and finally recycles the job's crash states — the ownership
 // hand-off that keeps images out of the buffer pool while validation or
-// artifact serialization still aliases them.
-func (f *Fuzzer) validateJob(job *valJob) error {
+// artifact serialization still aliases them. lane is the validator's span
+// lane (validation spans are always-on when tracing is enabled: findings
+// are rare).
+func (f *Fuzzer) validateJob(job *valJob, lane int) error {
 	defer pmem.RecycleStates(job.states)
 	vopts := validate.Options{
 		HangTimeout: f.opts.HangTimeout,
 		WallTimeout: f.opts.ValidationWallTimeout,
 		Whitelist:   f.whitelist,
 		Obs:         f.em,
+		Trace:       f.tr,
+		TraceLane:   lane,
 	}
 	var r validate.Result
 	if job.in != nil {
@@ -845,13 +906,25 @@ func (f *Fuzzer) validateJob(job *valJob) error {
 	} else {
 		bug = artifact.FromSync(f.targetName, f.opts.Threads, job.si, r.Status, artifactValidation(r))
 	}
-	_, err := f.artifacts.Write(&artifact.Bundle{
+	// The bundle carries the flight recorder's last-N spans at write time:
+	// the wall-clock timeline leading up to the confirmed bug.
+	dir, err := f.artifacts.Write(&artifact.Bundle{
 		Bug:      bug,
 		Seed:     job.seed,
 		Schedule: job.sd,
 		Trace:    artifact.ConvertTrace(job.trace),
 		PMDiff:   artifact.ConvertDirty(job.dirty),
+		Spans:    f.tr.Spans(),
 	})
+	if err == nil && dir != "" {
+		// Exemplar: link the latency distributions to the concrete bundle
+		// that exhibited this validation.
+		label := filepath.Base(dir)
+		f.em.Registry().Histogram(obs.HValidationLatency).SetExemplar(label, r.Latency)
+		if f.tr.Enabled() {
+			f.em.Registry().Histogram(obs.SpanHistName(obs.SpanValidate)).SetExemplar(label, r.Latency)
+		}
+	}
 	return err
 }
 

@@ -19,22 +19,25 @@ import (
 // A nil *Emitter is a valid no-op producer target, so layers like the
 // detection DB can emit unconditionally.
 type Emitter struct {
-	start   time.Time
-	seq     atomic.Uint64
-	reg     *Registry
-	dropped *Counter
+	start      time.Time
+	seq        atomic.Uint64
+	reg        *Registry
+	dropped    *Counter
+	sseDropped *Counter
 
-	mu     sync.Mutex
-	sinks  []Sink
-	ch     chan Event
-	extras []chan Event
-	closed bool
+	mu       sync.Mutex
+	sinks    []Sink
+	ch       chan Event
+	extras   []chan Event
+	closed   bool
+	terminal Event // the CampaignDone event, once emitted
 }
 
 // NewEmitter creates an emitter with the given sinks attached.
 func NewEmitter(sinks ...Sink) *Emitter {
 	e := &Emitter{start: time.Now(), reg: NewRegistry(), sinks: sinks}
 	e.dropped = e.reg.Counter(MEventsDropped)
+	e.sseDropped = e.reg.Counter(MSSEDropped)
 	return e
 }
 
@@ -86,6 +89,12 @@ func (e *Emitter) Subscribe(buf int) <-chan Event {
 // transient consumers (an SSE stream per HTTP client) never steal events
 // from Campaign.Events. The returned cancel func detaches and closes the
 // channel; it is idempotent and safe to call after Close.
+//
+// Terminal-event delivery is deterministic: a subscriber attaching after
+// campaign_done was emitted — during drain, or even after Close — still
+// receives that terminal event (pre-delivered into the fresh channel), so a
+// late SSE client always observes the campaign's conclusion instead of an
+// empty stream.
 func (e *Emitter) SubscribeExtra(buf int) (<-chan Event, func()) {
 	if buf <= 0 {
 		buf = 256
@@ -97,9 +106,15 @@ func (e *Emitter) SubscribeExtra(buf int) (<-chan Event, func()) {
 	}
 	e.mu.Lock()
 	if e.closed {
+		if e.terminal != nil {
+			ch <- e.terminal // fresh channel, buf >= 1: never blocks
+		}
 		e.mu.Unlock()
 		close(ch)
 		return ch, func() {}
+	}
+	if e.terminal != nil {
+		ch <- e.terminal
 	}
 	e.extras = append(e.extras, ch)
 	e.mu.Unlock()
@@ -139,21 +154,36 @@ func (e *Emitter) Emit(ev Event) {
 	if e.closed {
 		return
 	}
+	if ev.Kind() == KindCampaignDone {
+		// Remembered under the same critical section that delivers it, so
+		// a SubscribeExtra racing this Emit either attaches first (and
+		// receives it below) or pre-receives it on attach — never both,
+		// never neither.
+		e.terminal = ev
+	}
 	for _, s := range e.sinks {
 		s.Emit(ev)
 	}
 	if e.ch != nil {
-		e.sendRing(e.ch, ev)
+		e.sendRing(e.ch, ev, false)
 	}
 	for _, ch := range e.extras {
-		e.sendRing(ch, ev)
+		e.sendRing(ch, ev, true)
 	}
 }
 
 // sendRing delivers ev to a bounded subscriber channel without ever
 // blocking: both the send and the ring-buffer eviction are non-blocking, so
-// holding the emitter mutex around it is safe.
-func (e *Emitter) sendRing(ch chan Event, ev Event) {
+// holding the emitter mutex around it is safe. extra marks SSE-style
+// SubscribeExtra channels, whose sheds are additionally counted in
+// obs_sse_dropped_total.
+func (e *Emitter) sendRing(ch chan Event, ev Event, extra bool) {
+	drop := func() {
+		e.dropped.Inc()
+		if extra {
+			e.sseDropped.Inc()
+		}
+	}
 	select {
 	case ch <- ev:
 	default:
@@ -162,13 +192,13 @@ func (e *Emitter) sendRing(ch chan Event, ev Event) {
 		// consumer caught up and the retried send finds capacity.
 		select {
 		case <-ch:
-			e.dropped.Inc()
+			drop()
 		default:
 		}
 		select {
 		case ch <- ev:
 		default:
-			e.dropped.Inc()
+			drop()
 		}
 	}
 }

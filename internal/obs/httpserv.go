@@ -5,6 +5,7 @@
 //	/status       the campaign Snapshot as JSON
 //	/metrics      Prometheus text exposition of the obs registry
 //	/events       the event stream as Server-Sent Events
+//	/trace        the span timeline as Chrome trace-event JSON (Perfetto)
 //	/debug/pprof  the standard Go profiling endpoints
 //
 // Each /events client gets its own SubscribeExtra channel, so any number of
@@ -26,10 +27,19 @@ import (
 type Server struct {
 	em     *Emitter
 	status func() any
+	tr     *Tracer
 
 	srv    *http.Server
 	ln     net.Listener
 	cancel context.CancelFunc
+}
+
+// SetTracer attaches the campaign tracer; /trace answers 404 without one.
+// Call before Start.
+func (s *Server) SetTracer(tr *Tracer) {
+	if s != nil {
+		s.tr = tr
+	}
 }
 
 // NewServer builds the server. status supplies the /status document (the
@@ -41,6 +51,7 @@ func NewServer(em *Emitter, status func() any) *Server {
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -118,6 +129,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // handleEvents streams the campaign event feed as SSE.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	ServeSSE(w, r, s.em)
+}
+
+// handleTrace serves the campaign's span timeline as Chrome trace-event
+// JSON, loadable in ui.perfetto.dev.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if s.tr == nil || !s.tr.Enabled() {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := WriteChromeTrace(w, s.tr.Spans(), s.tr.Meta()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // ServeSSE streams em's event feed to one HTTP client as Server-Sent

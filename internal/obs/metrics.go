@@ -22,6 +22,9 @@ const (
 	MValidateCrashStates  = "validate_crash_states_total"
 	MValidateWallTimeouts = "validate_wall_timeouts_total"
 	MEventsDropped        = "obs_events_dropped_total"
+	MSSEDropped           = "obs_sse_dropped_total"
+	GQueueDepth           = "serve_queue_depth"
+	GWorkerBudgetInUse    = "serve_worker_budget_in_use"
 	MBranchCov            = "cover_branch_bits"
 	MAliasCov             = "cover_alias_bits"
 	HExecLatency          = "exec_latency"
@@ -79,11 +82,38 @@ func (g *Gauge) Value() int64 {
 const histBuckets = 32
 
 // Histogram accumulates durations into lock-free power-of-two buckets: one
-// atomic add per observation, no mutex on the hot path.
+// atomic add per observation, no mutex on the hot path. A histogram can also
+// carry one exemplar: a pointer from the latency distribution to a concrete
+// artifact (bundle name) that exhibited it, surfaced in JSON snapshots.
 type Histogram struct {
 	buckets [histBuckets]atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Int64 // nanoseconds
+	ex      atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a histogram to one concrete observation's artifact.
+type Exemplar struct {
+	// Label identifies the exemplar source, e.g. an artifact bundle name.
+	Label string `json:"label"`
+	// Value is the observation's duration.
+	Value time.Duration `json:"value_ns"`
+}
+
+// SetExemplar records label as the histogram's exemplar (last writer wins).
+func (h *Histogram) SetExemplar(label string, v time.Duration) {
+	if h == nil || label == "" {
+		return
+	}
+	h.ex.Store(&Exemplar{Label: label, Value: v})
+}
+
+// Exemplar returns the current exemplar, or nil.
+func (h *Histogram) Exemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.ex.Load()
 }
 
 // Observe records one duration.
@@ -130,6 +160,10 @@ type HistStat struct {
 	// P50/P95 are bucket-upper-bound approximations.
 	P50 time.Duration `json:"p50_ns"`
 	P95 time.Duration `json:"p95_ns"`
+	// Exemplar links the distribution to a concrete artifact when one was
+	// recorded (e.g. the bundle name of a validated finding).
+	Exemplar   string        `json:"exemplar,omitempty"`
+	ExemplarNs time.Duration `json:"exemplar_ns,omitempty"`
 }
 
 // Snapshot summarizes the histogram.
@@ -146,7 +180,32 @@ func (h *Histogram) Snapshot() HistStat {
 	st.Mean = st.Sum / time.Duration(st.Count)
 	st.P50 = h.quantile(st.Count, 0.50)
 	st.P95 = h.quantile(st.Count, 0.95)
+	if ex := h.ex.Load(); ex != nil {
+		st.Exemplar = ex.Label
+		st.ExemplarNs = ex.Value
+	}
 	return st
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile returns the bucket-upper-bound approximation of the q-quantile
+// over all observations so far (0 when empty).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	return h.quantile(count, q)
 }
 
 // quantile returns the upper bound of the bucket containing the q-quantile.

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export: spans render as B/E (duration begin/end) event
+// pairs in the JSON object format Perfetto's ui.perfetto.dev and
+// chrome://tracing both load. Lanes map to trace threads (tid), so the
+// nesting guarantee per lane becomes proper slice stacking in the UI.
+
+// chromeEvent is one trace event. Ts is microseconds (float, so nanosecond
+// precision survives the division).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+
+	// sort keys, not serialized
+	tsNs  int64
+	durNs int64
+}
+
+// laneName is the human thread name a lane renders under.
+func laneName(lane int) string {
+	switch {
+	case lane == LaneSupervisor:
+		return "supervisor"
+	case lane >= LaneExecDetailBase:
+		return fmt.Sprintf("exec detail %d", lane-LaneExecDetailBase)
+	case lane >= LaneValidatorBase:
+		return fmt.Sprintf("validator %d", lane-LaneValidatorBase)
+	default:
+		return fmt.Sprintf("worker %d", lane-LaneWorkerBase)
+	}
+}
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON
+// ({"traceEvents": [...]}). Events are emitted in a deterministic order that
+// keeps ts non-decreasing and B/E pairs properly matched per tid: at equal
+// timestamps, ends sort before begins (a slice closing exactly where the
+// next opens), outer begins before inner begins, and inner ends before
+// outer ends.
+func WriteChromeTrace(w io.Writer, spans []Span, meta TraceMeta) error {
+	evs := make([]chromeEvent, 0, len(spans)*2+16)
+
+	procName := "pmrace"
+	if meta.Campaign != "" {
+		procName = "pmrace " + meta.Campaign
+	}
+	if meta.Target != "" {
+		procName += " (" + meta.Target + ")"
+	}
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": procName},
+	})
+
+	lanes := make(map[int]bool)
+	for _, sp := range spans {
+		if !lanes[sp.Lane] {
+			lanes[sp.Lane] = true
+			evs = append(evs, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: sp.Lane,
+				Args: map[string]any{"name": laneName(sp.Lane)},
+			}, chromeEvent{
+				Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: sp.Lane,
+				Args: map[string]any{"sort_index": sp.Lane},
+			})
+		}
+		args := map[string]any{"id": sp.ID}
+		if sp.Parent != 0 {
+			args["parent"] = sp.Parent
+		}
+		if sp.Exec != 0 {
+			args["exec"] = sp.Exec
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		dur := sp.DurNs
+		if dur <= 0 {
+			dur = 1
+		}
+		evs = append(evs, chromeEvent{
+			Name: sp.Name, Ph: "B", Ts: float64(sp.StartNs) / 1e3,
+			Pid: 1, Tid: sp.Lane, Args: args,
+			tsNs: sp.StartNs, durNs: dur,
+		}, chromeEvent{
+			Name: sp.Name, Ph: "E", Ts: float64(sp.StartNs+dur) / 1e3,
+			Pid: 1, Tid: sp.Lane,
+			tsNs: sp.StartNs + dur, durNs: dur,
+		})
+	}
+
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		// Metadata first, in emission order.
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
+		}
+		if a.Ph == "M" {
+			return false
+		}
+		if a.tsNs != b.tsNs {
+			return a.tsNs < b.tsNs
+		}
+		// Equal timestamps: close slices before opening new ones.
+		if a.Ph != b.Ph {
+			return a.Ph == "E"
+		}
+		if a.Ph == "B" {
+			// Outer (longer) slices open first.
+			return a.durNs > b.durNs
+		}
+		// Inner (later-started, i.e. shorter) slices close first.
+		return a.durNs < b.durNs
+	})
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: evs, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ValidateChromeTrace checks that data is structurally valid Chrome
+// trace-event JSON: the traceEvents array is present, every B/E event
+// carries name/ph/ts/pid/tid, timestamps are non-decreasing in emission
+// order, and B/E pairs match like parentheses per (pid, tid). This is the
+// shape contract CI asserts on exported timelines.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	type tidKey struct {
+		pid, tid string
+	}
+	stacks := make(map[tidKey][]string)
+	lastTs := map[tidKey]float64{}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		name, ok := ev["name"].(string)
+		if !ok || name == "" {
+			return fmt.Errorf("trace: event %d: missing name", i)
+		}
+		if ph == "M" {
+			continue
+		}
+		if ph != "B" && ph != "E" {
+			return fmt.Errorf("trace: event %d (%s): unexpected ph %q", i, name, ph)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok {
+			return fmt.Errorf("trace: event %d (%s): missing ts", i, name)
+		}
+		if _, ok := ev["pid"]; !ok {
+			return fmt.Errorf("trace: event %d (%s): missing pid", i, name)
+		}
+		if _, ok := ev["tid"]; !ok {
+			return fmt.Errorf("trace: event %d (%s): missing tid", i, name)
+		}
+		key := tidKey{jsonNum(ev["pid"]), jsonNum(ev["tid"])}
+		if prev, seen := lastTs[key]; seen && ts < prev {
+			return fmt.Errorf("trace: event %d (%s): ts %v before previous %v on tid %s",
+				i, name, ts, prev, key.tid)
+		}
+		lastTs[key] = ts
+		switch ph {
+		case "B":
+			stacks[key] = append(stacks[key], name)
+		case "E":
+			st := stacks[key]
+			if len(st) == 0 {
+				return fmt.Errorf("trace: event %d: E %q on tid %s without open B", i, name, key.tid)
+			}
+			if top := st[len(st)-1]; top != name {
+				return fmt.Errorf("trace: event %d: E %q closes open B %q on tid %s", i, name, top, key.tid)
+			}
+			stacks[key] = st[:len(st)-1]
+		}
+	}
+	for key, st := range stacks {
+		if len(st) != 0 {
+			return fmt.Errorf("trace: tid %s: %d unclosed B events (top %q)", key.tid, len(st), st[len(st)-1])
+		}
+	}
+	return nil
+}
+
+// jsonNum renders a decoded JSON number (or anything else) as a map key.
+func jsonNum(v any) string {
+	if f, ok := v.(float64); ok {
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return fmt.Sprint(v)
+}

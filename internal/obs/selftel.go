@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime self-telemetry: a 1 Hz sampler turning Go runtime health (GC
+// pause, goroutine count, heap, scheduling latency) into registry gauges, so
+// /metrics explains when the engine itself — not the target — is the
+// bottleneck.
+
+// Runtime gauge names.
+const (
+	GRuntimeGoroutines  = "runtime_goroutines"
+	GRuntimeHeapBytes   = "runtime_heap_alloc_bytes"
+	GRuntimeGCPauseNs   = "runtime_gc_pause_total_ns"
+	GRuntimeSchedLatP50 = "runtime_sched_latency_p50_ns"
+	GRuntimeSchedLatP99 = "runtime_sched_latency_p99_ns"
+)
+
+// schedLatMetric is the runtime/metrics histogram of goroutine scheduling
+// latency (time runnable goroutines waited for a P).
+const schedLatMetric = "/sched/latencies:seconds"
+
+// RuntimeSampler periodically samples runtime health into a Registry.
+type RuntimeSampler struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRuntimeSampler begins sampling reg's runtime gauges every interval
+// (<= 0 selects 1s). One sample is taken synchronously so the gauges are
+// never absent from a scrape that races the first tick.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &RuntimeSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	sampleRuntime(reg)
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sampleRuntime(reg)
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Close stops the sampler and waits for its goroutine to exit.
+func (s *RuntimeSampler) Close() {
+	if s == nil {
+		return
+	}
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// sampleRuntime takes one sample into reg.
+func sampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(GRuntimeGoroutines).Set(int64(runtime.NumGoroutine()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge(GRuntimeHeapBytes).Set(int64(ms.HeapAlloc))
+	reg.Gauge(GRuntimeGCPauseNs).Set(int64(ms.PauseTotalNs))
+
+	samples := []metrics.Sample{{Name: schedLatMetric}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() == metrics.KindFloat64Histogram {
+		h := samples[0].Value.Float64Histogram()
+		reg.Gauge(GRuntimeSchedLatP50).Set(histQuantileNs(h, 0.50))
+		reg.Gauge(GRuntimeSchedLatP99).Set(histQuantileNs(h, 0.99))
+	}
+}
+
+// histQuantileNs estimates a quantile of a runtime/metrics histogram (bucket
+// values in seconds) in nanoseconds, using each bucket's upper bound.
+func histQuantileNs(h *metrics.Float64Histogram, q float64) int64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			// Bucket i spans Buckets[i]..Buckets[i+1].
+			ub := h.Buckets[i+1]
+			if ub > 1e9 { // +Inf bucket: fall back to the lower bound
+				ub = h.Buckets[i]
+			}
+			return int64(ub * 1e9)
+		}
+	}
+	return int64(h.Buckets[len(h.Buckets)-1] * 1e9)
+}

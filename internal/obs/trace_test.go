@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerSpanBasics checks the span lifecycle: parent/child linkage, lane
+// and exec inheritance, attributes, and delivery to the flight recorder and
+// the span histograms.
+func TestTracerSpanBasics(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, 1)
+	tr.SetMeta("c0001", "pclht")
+
+	sp := tr.Start(LaneWorkerBase, SpanExecRun)
+	if !sp.Active() {
+		t.Fatal("enabled tracer must return an active span")
+	}
+	exec := tr.NextExec()
+	sp.SetExec(exec)
+	child := sp.Child(SpanConflictAnalysis)
+	child.SetAttr("batches", "3")
+	child.End()
+	sp.End()
+	sp.End() // idempotent
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	// Snapshot orders by start time: parent opened first.
+	parent, inner := spans[0], spans[1]
+	if parent.Name != SpanExecRun || inner.Name != SpanConflictAnalysis {
+		t.Fatalf("span order %q, %q", parent.Name, inner.Name)
+	}
+	if inner.Parent != parent.ID {
+		t.Fatalf("child parent=%d, want %d", inner.Parent, parent.ID)
+	}
+	if inner.Lane != parent.Lane || inner.Exec != exec || parent.Exec != exec {
+		t.Fatalf("child must inherit lane and exec: %+v / %+v", parent, inner)
+	}
+	if inner.Attrs["batches"] != "3" {
+		t.Fatalf("attrs = %v", inner.Attrs)
+	}
+	if parent.DurNs <= 0 {
+		t.Fatal("durations must be clamped positive")
+	}
+	if reg.Histogram(SpanHistName(SpanExecRun)).Count() != 1 {
+		t.Fatal("span histogram did not observe the span")
+	}
+}
+
+// TestTracerDisabledAndNil checks the inert paths: nil tracer, disabled
+// tracer, and the negative "not sampled" lane all produce no-op spans, and
+// every method is nil-safe.
+func TestTracerDisabledAndNil(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Enabled() || nilTr.Sample() || nilTr.NextExec() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+	nilTr.SetEnabled(true)
+	nilTr.SetMeta("x", "y")
+	nilTr.SetAnomalyDir("/nope")
+	nilTr.DumpAnomaly("r")
+	sp := nilTr.Start(0, SpanCampaign)
+	sp.SetAttr("k", "v")
+	sp.SetExec(1)
+	c := sp.Child(SpanSeedPick)
+	c.End()
+	sp.End()
+	if nilTr.Spans() != nil {
+		t.Fatal("nil tracer must have no spans")
+	}
+
+	tr := NewTracer(NewRegistry(), 1)
+	tr.SetEnabled(false)
+	if sp := tr.Start(0, SpanCampaign); sp.Active() {
+		t.Fatal("disabled tracer must return an inert span")
+	}
+	if tr.Sample() {
+		t.Fatal("disabled tracer must not sample")
+	}
+	if sp := tr.Start(-1, SpanExecRun); sp.Active() {
+		t.Fatal("negative lane must return an inert span")
+	}
+	tr.SetEnabled(true)
+	sp2 := tr.Start(-1, SpanExecRun)
+	sp2.End()
+	if len(tr.Spans()) != 0 {
+		t.Fatal("unsampled lane must record nothing")
+	}
+}
+
+// TestTracerSampling checks the modular sampling contract: with rate n,
+// exactly one in n Sample calls is true.
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(nil, 4)
+	hits := 0
+	for i := 0; i < 40; i++ {
+		if tr.Sample() {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Fatalf("sampled %d of 40 at rate 4, want 10", hits)
+	}
+}
+
+// TestFlightRecorderBounded checks the ring semantics: the recorder holds at
+// most its capacity and Snapshot is sorted by start time.
+func TestFlightRecorderBounded(t *testing.T) {
+	fr := NewFlightRecorder(256)
+	for i := 0; i < 1000; i++ {
+		fr.Record(Span{ID: uint64(i + 1), Name: SpanExecRun, StartNs: int64(i)})
+	}
+	got := fr.Snapshot()
+	if len(got) > 256 {
+		t.Fatalf("recorder holds %d spans, cap 256", len(got))
+	}
+	if len(got) == 0 {
+		t.Fatal("recorder is empty")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].StartNs < got[i-1].StartNs {
+			t.Fatalf("snapshot not sorted at %d: %d < %d", i, got[i].StartNs, got[i-1].StartNs)
+		}
+	}
+	// The ring keeps the most recent spans.
+	if got[len(got)-1].StartNs != 999 {
+		t.Fatalf("newest span start %d, want 999", got[len(got)-1].StartNs)
+	}
+}
+
+// TestFlightRecorderConcurrent stress-tests the recorder under -race:
+// concurrent recording, snapshotting and anomaly dumping must be safe.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewTracer(NewRegistry(), 1)
+	tr.SetMeta("c0001", "pclht")
+	tr.SetAnomalyDir(dir)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.Start(LaneWorkerBase+w, SpanExecRun)
+				c := sp.Child(SpanConflictAnalysis)
+				c.End()
+				sp.End()
+			}
+		}(w)
+	}
+	for d := 0; d < 4; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = tr.Spans()
+				tr.DumpAnomaly("stress")
+			}
+		}()
+	}
+	wg.Wait()
+
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 || len(files) > maxAnomalyDumps {
+		t.Fatalf("wrote %d anomaly dumps, want 1..%d", len(files), maxAnomalyDumps)
+	}
+	var dump AnomalyDump
+	raw, err := os.ReadFile(filepath.Join(dir, files[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Schema != 1 || dump.Reason != "stress" || dump.Campaign != "c0001" {
+		t.Fatalf("dump header %+v", dump)
+	}
+}
+
+// TestAnomalyDumpGating checks anomaly dumps are dropped without a directory
+// and rate-limited with one.
+func TestAnomalyDumpGating(t *testing.T) {
+	tr := NewTracer(nil, 1)
+	sp := tr.Start(0, SpanCampaign)
+	sp.End()
+	tr.DumpAnomaly("no_dir") // no directory configured: silently dropped
+
+	dir := t.TempDir()
+	tr.SetAnomalyDir(dir)
+	for i := 0; i < maxAnomalyDumps+5; i++ {
+		tr.DumpAnomaly("hang")
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != maxAnomalyDumps {
+		t.Fatalf("wrote %d dumps, want the %d-dump rate limit", len(files), maxAnomalyDumps)
+	}
+}
+
+// TestWriteChromeTraceRoundTrip checks the exported document satisfies the
+// same shape contract CI enforces, including timestamp ties between nested
+// and adjacent spans.
+func TestWriteChromeTraceRoundTrip(t *testing.T) {
+	spans := []Span{
+		// Outer and inner span opening at the same timestamp on one lane.
+		{ID: 1, Name: SpanCampaign, Lane: 0, StartNs: 0, DurNs: 5000},
+		{ID: 2, Parent: 1, Name: SpanSeedPick, Lane: 0, StartNs: 0, DurNs: 1000},
+		// A slice closing exactly where the next one opens.
+		{ID: 3, Parent: 1, Name: SpanInterleaving, Lane: 0, StartNs: 1000, DurNs: 1000},
+		{ID: 4, Parent: 1, Name: SpanExecRun, Lane: 0, StartNs: 2000, DurNs: 1000},
+		// Zero-duration span: the export clamps it to 1ns.
+		{ID: 5, Name: SpanValidate, Lane: 100, StartNs: 10, DurNs: 0, Attrs: map[string]string{"status": "Bug"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, TraceMeta{Campaign: "c0007", Target: "cceh"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails its own validator: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"traceEvents"`, "pmrace c0007 (cceh)", "supervisor", "validator 0", `"status":"Bug"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestValidateChromeTraceRejects checks the validator catches the shape
+// violations it exists for.
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{`,
+		"no traceEvents": `{"other": []}`,
+		"missing name":   `{"traceEvents":[{"ph":"B","ts":1,"pid":1,"tid":0}]}`,
+		"missing ts":     `{"traceEvents":[{"name":"x","ph":"B","pid":1,"tid":0}]}`,
+		"unmatched E":    `{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":0}]}`,
+		"unclosed B":     `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":0}]}`,
+		"crossed pairs":  `{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":1,"tid":0},{"name":"b","ph":"B","ts":2,"pid":1,"tid":0},{"name":"a","ph":"E","ts":3,"pid":1,"tid":0},{"name":"b","ph":"E","ts":4,"pid":1,"tid":0}]}`,
+		"ts goes back":   `{"traceEvents":[{"name":"a","ph":"B","ts":5,"pid":1,"tid":0},{"name":"a","ph":"E","ts":4,"pid":1,"tid":0}]}`,
+		"unexpected ph":  `{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":1,"tid":0}]}`,
+	}
+	for label, doc := range cases {
+		if err := ValidateChromeTrace([]byte(doc)); err == nil {
+			t.Errorf("%s: validator accepted %s", label, doc)
+		}
+	}
+	if err := ValidateChromeTrace([]byte(`{"traceEvents":[]}`)); err != nil {
+		t.Errorf("empty traceEvents must be valid: %v", err)
+	}
+}
+
+// TestSpanHistogramCardinality checks the tracer only ever creates span
+// histograms from the fixed name set: per-stage latency families stay
+// bounded no matter how many executions run.
+func TestSpanHistogramCardinality(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, 1)
+	for i := 0; i < 200; i++ {
+		for _, name := range SpanNames() {
+			sp := tr.Start(LaneWorkerBase+i%4, name)
+			sp.End()
+		}
+	}
+	allowed := make(map[string]bool)
+	for _, n := range SpanNames() {
+		allowed[SpanHistName(n)] = true
+	}
+	for _, name := range reg.Names() {
+		if strings.HasPrefix(name, "span_") && !allowed[name] {
+			t.Fatalf("unexpected span histogram %q", name)
+		}
+	}
+}
+
+// TestEmitterTerminalDelivery checks SubscribeExtra's deterministic terminal
+// contract: a subscriber attaching after campaign_done was emitted — during
+// drain or after Close — still receives the terminal event.
+func TestEmitterTerminalDelivery(t *testing.T) {
+	em := NewEmitter()
+	em.Emit(&ExecDone{Exec: 1})
+	em.Emit(&CampaignDone{Stats: Stats{Execs: 1}})
+
+	// Attached during drain (after campaign_done, before Close).
+	drainCh, cancel := em.SubscribeExtra(8)
+	defer cancel()
+	select {
+	case ev := <-drainCh:
+		if _, ok := ev.(*CampaignDone); !ok {
+			t.Fatalf("drain subscriber got %T, want *CampaignDone", ev)
+		}
+	default:
+		t.Fatal("drain subscriber did not receive the terminal event")
+	}
+
+	em.Close()
+
+	// Attached after Close: terminal event, then closed channel.
+	lateCh, _ := em.SubscribeExtra(8)
+	ev, ok := <-lateCh
+	if !ok {
+		t.Fatal("late subscriber channel closed without the terminal event")
+	}
+	if _, isDone := ev.(*CampaignDone); !isDone {
+		t.Fatalf("late subscriber got %T, want *CampaignDone", ev)
+	}
+	if _, ok := <-lateCh; ok {
+		t.Fatal("late subscriber channel must close after the terminal event")
+	}
+
+	// No terminal was ever emitted: post-Close subscribe is just closed.
+	em2 := NewEmitter()
+	em2.Emit(&ExecDone{Exec: 1})
+	em2.Close()
+	emptyCh, _ := em2.SubscribeExtra(8)
+	if _, ok := <-emptyCh; ok {
+		t.Fatal("no terminal event was emitted; channel must be closed and empty")
+	}
+}
+
+// TestEmitterSSEDropCounter checks extra-subscriber sheds surface in both
+// the total and the SSE-specific drop counters.
+func TestEmitterSSEDropCounter(t *testing.T) {
+	em := NewEmitter()
+	_, cancel := em.SubscribeExtra(1) // tiny buffer, no consumer
+	defer cancel()
+	for i := 0; i < 50; i++ {
+		em.Emit(&ExecDone{Exec: i})
+	}
+	sse := em.Registry().Counter(MSSEDropped).Value()
+	if sse == 0 {
+		t.Fatal("expected obs_sse_dropped_total accounting")
+	}
+	if em.Dropped() < sse {
+		t.Fatalf("total drops %d < SSE drops %d; SSE sheds must count in both", em.Dropped(), sse)
+	}
+	em.Close()
+}
+
+// TestObsSpanDisabledPin pins the disabled-path cost: Start on a disabled
+// tracer must stay an atomic load plus a branch — no allocation, well under
+// the PM-hook budget. Gated on PMRACE_BENCH_PIN=1 because wall-clock
+// assertions are meaningless under -race or a loaded CI box.
+func TestObsSpanDisabledPin(t *testing.T) {
+	if os.Getenv("PMRACE_BENCH_PIN") != "1" {
+		t.Skip("set PMRACE_BENCH_PIN=1 to pin the disabled-path cost")
+	}
+	tr := NewTracer(nil, 8)
+	tr.SetEnabled(false)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := tr.Start(1, SpanExecRun)
+			sp.End()
+		}
+	})
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("disabled span path allocates %d/op, want 0", allocs)
+	}
+	if ns := float64(res.NsPerOp()); ns > 100 {
+		t.Fatalf("disabled span path costs %.1f ns/op, want < 100", ns)
+	}
+	_ = time.Now() // keep the time import stable if assertions change
+}

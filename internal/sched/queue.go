@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -69,6 +70,16 @@ type Entry struct {
 
 // Key identifies the entry for the per-seed skip bookkeeping.
 func (e *Entry) Key() pmem.Addr { return e.Addr }
+
+// Describe renders the entry for span attribution: the address with its
+// load/store site counts and priority.
+func (e *Entry) Describe() string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf("%#x loads=%d stores=%d prio=%d",
+		uint64(e.Addr), len(e.LoadSites), len(e.StoreSites), e.Priority)
+}
 
 // Queue is the priority queue of shared PM data access instructions grouped
 // by address. Entries are ordered by access frequency (hot shared data

@@ -73,6 +73,9 @@ func (s *Supervisor) Handler() http.Handler {
 	mux.HandleFunc("GET "+api.BasePath+"/campaigns/{id}/artifacts/{name}", func(w http.ResponseWriter, r *http.Request) {
 		s.handleArtifactGet(w, r)
 	})
+	mux.HandleFunc("GET "+api.BasePath+"/campaigns/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		s.handleTrace(w, r)
+	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -98,10 +101,19 @@ func (s *Supervisor) Handler() http.Handler {
 
 // handleMetrics merges every campaign's metrics registry into one labeled
 // Prometheus exposition: each family appears once, with one labeled series
-// per campaign (campaign="c0001",target="pclht").
+// per campaign (campaign="c0001",target="pclht"), plus the server-scoped
+// registry (scope="server") carrying admission gauges and self-telemetry.
 func (s *Supervisor) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	regs := make([]obs.LabeledRegistry, 0, len(s.order))
+	// Admission-state gauges are sampled at scrape time: the queue depth and
+	// budget-in-use are supervisor state, not event-driven counters.
+	s.reg.Gauge(obs.GQueueDepth).Set(int64(len(s.queue)))
+	s.reg.Gauge(obs.GWorkerBudgetInUse).Set(int64(s.used))
+	regs := make([]obs.LabeledRegistry, 0, len(s.order)+1)
+	regs = append(regs, obs.LabeledRegistry{
+		Labels: []obs.Label{{Name: "scope", Value: "server"}},
+		Reg:    s.reg,
+	})
 	for _, id := range s.order {
 		c := s.campaigns[id]
 		regs = append(regs, obs.LabeledRegistry{
@@ -112,6 +124,24 @@ func (s *Supervisor) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = obs.WritePrometheusLabeled(w, regs...)
+}
+
+// handleTrace serves a campaign's span timeline as Chrome trace-event JSON,
+// viewable directly in Perfetto (ui.perfetto.dev). Works on running and
+// terminal campaigns alike: the tracer outlives the fuzzer.
+func (s *Supervisor) handleTrace(w http.ResponseWriter, r *http.Request) {
+	c, err := s.get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if c.tr == nil {
+		writeErr(w, &api.Error{StatusCode: 404, Code: api.CodeNotFound,
+			Message: fmt.Sprintf("tracing disabled for campaign %s", c.id)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeTrace(w, c.tr.Spans(), c.tr.Meta())
 }
 
 func (s *Supervisor) handleArtifactList(w http.ResponseWriter, r *http.Request) {
@@ -195,6 +225,11 @@ func bundleDoc(b *artifact.Bundle) (api.ArtifactBundle, error) {
 	}
 	if len(b.PMDiff) > 0 {
 		if err := remap(b.PMDiff, &doc.PMDiff); err != nil {
+			return doc, err
+		}
+	}
+	if len(b.Spans) > 0 {
+		if err := remap(b.Spans, &doc.Spans); err != nil {
 			return doc, err
 		}
 	}

@@ -60,6 +60,12 @@ type Config struct {
 	// DrainTimeout bounds Drain's wait for in-flight executions
 	// (default 30s).
 	DrainTimeout time.Duration
+	// TraceSample is the server-default span-tracing sample rate applied
+	// to campaigns whose spec leaves TraceSample zero: one execution in
+	// TraceSample records detailed spans. 0 selects
+	// obs.DefaultTraceSample; negative disables tracing by default (a
+	// spec can still opt in with an explicit positive TraceSample).
+	TraceSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +78,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = obs.DefaultTraceSample
+	}
 	return c
 }
 
@@ -83,6 +92,8 @@ type campaign struct {
 	spec   api.CampaignSpec
 	fz     *fuzz.Fuzzer
 	em     *obs.Emitter
+	tr     *obs.Tracer // nil when tracing is disabled for this campaign
+	qsp    obs.SpanCtx // queue_wait span, open while Pending
 	ctx    context.Context
 	cancel context.CancelFunc
 	artDir string
@@ -101,6 +112,11 @@ type campaign struct {
 // worker budget.
 type Supervisor struct {
 	cfg Config
+
+	// reg holds server-level metrics (queue depth, budget in use, runtime
+	// self-telemetry); sampler feeds the runtime gauges at 1 Hz.
+	reg     *obs.Registry
+	sampler *obs.RuntimeSampler
 
 	mu        sync.Mutex
 	campaigns map[string]*campaign
@@ -132,11 +148,14 @@ func New(cfg Config) (*Supervisor, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "artifacts"), 0o755); err != nil {
 		return nil, err
 	}
-	return &Supervisor{
+	s := &Supervisor{
 		cfg:       cfg,
+		reg:       obs.NewRegistry(),
 		campaigns: map[string]*campaign{},
 		seen:      map[string]map[string]string{},
-	}, nil
+	}
+	s.sampler = obs.StartRuntimeSampler(s.reg, time.Second)
+	return s, nil
 }
 
 // DataDir returns the resolved state directory.
@@ -242,12 +261,29 @@ func (s *Supervisor) Submit(spec api.CampaignSpec) (api.Campaign, error) {
 	em := obs.NewEmitter()
 	fz.SetEmitter(em)
 
+	// Span tracing: the spec's explicit rate wins; zero inherits the server
+	// default; a negative value (either side) disables.
+	var tr *obs.Tracer
+	sample := s.cfg.TraceSample
+	if spec.TraceSample != 0 {
+		sample = spec.TraceSample
+	}
+	if sample > 0 {
+		tr = obs.NewTracer(em.Registry(), sample)
+		tr.SetMeta(id, spec.Target)
+		tr.SetAnomalyDir(filepath.Join(s.cfg.DataDir, "anomalies", id))
+		fz.SetTracer(tr)
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &campaign{
-		id: id, spec: spec, fz: fz, em: em, ctx: ctx, cancel: cancel,
+		id: id, spec: spec, fz: fz, em: em, tr: tr, ctx: ctx, cancel: cancel,
 		artDir: artDir, state: api.StatePending, created: time.Now(),
 		done: make(chan struct{}),
 	}
+	// The queue_wait span measures admission latency: opened here, ended
+	// when the campaign is admitted (or cancelled while pending).
+	c.qsp = tr.Start(obs.LaneSupervisor, obs.SpanQueueWait)
 
 	s.mu.Lock()
 	if s.draining { // re-check: Drain may have raced the ID allocation
@@ -281,6 +317,7 @@ func (s *Supervisor) admitLocked() {
 		c.mu.Lock()
 		c.state = api.StateRunning
 		c.started = time.Now()
+		c.qsp.End()
 		c.mu.Unlock()
 		s.wg.Add(1)
 		go s.run(c)
@@ -477,6 +514,7 @@ func (s *Supervisor) Cancel(id string) (api.Campaign, error) {
 		}
 		c.state = api.StateCancelled
 		c.finished = time.Now()
+		c.qsp.End()
 		c.mu.Unlock()
 		s.mu.Unlock()
 		close(c.done)
@@ -551,6 +589,7 @@ func (s *Supervisor) Drain(ctx context.Context) error {
 		}
 		c.state = api.StateCancelled
 		c.finished = time.Now()
+		c.qsp.End()
 		c.mu.Unlock()
 		close(c.done)
 		c.cancel()
@@ -567,6 +606,7 @@ func (s *Supervisor) Drain(ctx context.Context) error {
 	}()
 	timer := time.NewTimer(s.cfg.DrainTimeout)
 	defer timer.Stop()
+	defer s.sampler.Close()
 	select {
 	case <-done:
 		return nil

@@ -33,6 +33,11 @@ type Options struct {
 	// Obs, when set, receives a ValidationVerdict event per judged finding
 	// and feeds the validation counters and latency histograms.
 	Obs *obs.Emitter
+	// Trace, when set, records a validate span per finding (with a
+	// validate_state child per crash state) on lane TraceLane. Findings are
+	// rare, so validation spans are always-on rather than sampled.
+	Trace     *obs.Tracer
+	TraceLane int
 }
 
 // observe emits the verdict event and updates the validation metrics.
@@ -47,6 +52,16 @@ func (o Options) observe(class string, r Result, started time.Time) Result {
 		CrashStates:  len(r.States),
 		Latency:      r.Latency,
 	})
+	return r
+}
+
+// finish is observe plus span completion: the validate span records the
+// class and final status as attributes.
+func (o Options) finish(sp *obs.SpanCtx, class string, r Result, started time.Time) Result {
+	r = o.observe(class, r, started)
+	sp.SetAttr("class", class)
+	sp.SetAttr("status", r.Status.String())
+	sp.End()
 	return r
 }
 
@@ -105,22 +120,23 @@ func aggregate(r Result) Result {
 // the paper's single-image validation).
 func Inconsistency(factory targets.Factory, states []pmem.CrashState, in *core.Inconsistency, opts Options) Result {
 	started := time.Now()
+	sp := opts.Trace.Start(opts.TraceLane, obs.SpanValidate)
 	class := "intra"
 	if in.Kind == core.KindInter {
 		class = "inter"
 	}
 	if opts.Whitelist != nil && opts.Whitelist.MatchInconsistency(in) {
-		return opts.observe(class, Result{Status: core.StatusWhitelistedFP}, started)
+		return opts.finish(&sp, class, Result{Status: core.StatusWhitelistedFP}, started)
 	}
 	if in.External {
 		// The external world cannot be overwritten by recovery: a disk
 		// write or a message based on lost PM state is a bug outright.
-		return opts.observe(class, Result{Status: core.StatusBug}, started)
+		return opts.finish(&sp, class, Result{Status: core.StatusBug}, started)
 	}
 	var res Result
 	for _, st := range states {
 		hasSE := st.HasSideEffect
-		res.States = append(res.States, opts.judgeState(factory, st, func(env *rt.Env) core.Status {
+		res.States = append(res.States, opts.judgeState(factory, st, &sp, func(env *rt.Env) core.Status {
 			if !hasSE {
 				// The side effect never reached PM in this state;
 				// recovery completing cleanly is all we can ask.
@@ -132,7 +148,7 @@ func Inconsistency(factory targets.Factory, states []pmem.CrashState, in *core.I
 			return core.StatusBug
 		}))
 	}
-	return opts.observe(class, aggregate(res), started)
+	return opts.finish(&sp, class, aggregate(res), started)
 }
 
 // Sync validates one synchronization inconsistency against its enumerated
@@ -140,12 +156,13 @@ func Inconsistency(factory targets.Factory, states []pmem.CrashState, in *core.I
 // after recovery in every state.
 func Sync(factory targets.Factory, states []pmem.CrashState, si *core.SyncInconsistency, opts Options) Result {
 	started := time.Now()
+	sp := opts.Trace.Start(opts.TraceLane, obs.SpanValidate)
 	if opts.Whitelist != nil && opts.Whitelist.MatchStack(si.Stack) {
-		return opts.observe("sync", Result{Status: core.StatusWhitelistedFP}, started)
+		return opts.finish(&sp, "sync", Result{Status: core.StatusWhitelistedFP}, started)
 	}
 	var res Result
 	for _, st := range states {
-		res.States = append(res.States, opts.judgeState(factory, st, func(env *rt.Env) core.Status {
+		res.States = append(res.States, opts.judgeState(factory, st, &sp, func(env *rt.Env) core.Status {
 			if si.Addr+8 > env.Pool().Size() {
 				return core.StatusBug
 			}
@@ -155,14 +172,18 @@ func Sync(factory targets.Factory, states []pmem.CrashState, si *core.SyncIncons
 			return core.StatusBug
 		}))
 	}
-	return opts.observe("sync", aggregate(res), started)
+	return opts.finish(&sp, "sync", aggregate(res), started)
 }
 
 // judgeState runs one state's recovery under the watchdog and applies the
 // caller's oracle to the recovered environment when recovery completed.
-func (o Options) judgeState(factory targets.Factory, st pmem.CrashState, oracle func(*rt.Env) core.Status) StateVerdict {
+// parent is the enclosing validate span; each state records a
+// validate_state child under it.
+func (o Options) judgeState(factory targets.Factory, st pmem.CrashState, parent *obs.SpanCtx, oracle func(*rt.Env) core.Status) StateVerdict {
 	start := time.Now()
 	v := StateVerdict{State: st.Name}
+	ssp := parent.Child(obs.SpanValidateState)
+	ssp.SetAttr("state", st.Name)
 	env, hung, wallTimedOut, err := runRecovery(factory, st.Img, o)
 	v.Latency = time.Since(start)
 	reg := o.Obs.Registry()
@@ -170,6 +191,9 @@ func (o Options) judgeState(factory targets.Factory, st pmem.CrashState, oracle 
 	reg.Histogram(obs.HValidateStateLatency).Observe(v.Latency)
 	if wallTimedOut {
 		reg.Counter(obs.MValidateWallTimeouts).Inc()
+		// A watchdog trip is an anomaly worth forensics even when the
+		// verdict is a bug anyway: dump the flight recorder.
+		o.Trace.DumpAnomaly("validate_wall_timeout")
 	}
 	v.WallTimeout = wallTimedOut
 	switch {
@@ -181,6 +205,11 @@ func (o Options) judgeState(factory targets.Factory, st pmem.CrashState, oracle 
 	default:
 		v.Status = oracle(env)
 	}
+	ssp.SetAttr("status", v.Status.String())
+	if v.RecoveryHung {
+		ssp.SetAttr("hung", "true")
+	}
+	ssp.End()
 	return v
 }
 

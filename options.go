@@ -20,6 +20,7 @@ type campaignConfig struct {
 	progressInterval time.Duration
 	eventBuf         int
 	httpAddr         string
+	traceSample      int
 }
 
 // WithOptions replaces the whole legacy Options struct at once.
@@ -140,6 +141,22 @@ func WithEventBuffer(n int) CampaignOption {
 // server lives for the campaign's duration.
 func WithHTTPAddr(addr string) CampaignOption {
 	return func(c *campaignConfig) { c.httpAddr = addr }
+}
+
+// WithTracing enables span tracing: the campaign records a timeline of
+// supervisor, worker, validation and crash-enumeration spans into a bounded
+// flight recorder, exports it as Chrome trace-event JSON (Perfetto-viewable
+// via the introspection server's /trace endpoint or `pmrace trace`), and
+// dumps the recorder on anomalies. sampleN selects which executions record
+// per-exec spans (every Nth; campaign-level and validation spans are always
+// on); sampleN <= 0 picks the default rate (every 8th execution).
+func WithTracing(sampleN int) CampaignOption {
+	return func(c *campaignConfig) {
+		if sampleN <= 0 {
+			sampleN = obs.DefaultTraceSample
+		}
+		c.traceSample = sampleN
+	}
 }
 
 // WithHangTimeout bounds each thread's lock acquisition during pre-failure
