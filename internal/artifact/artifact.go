@@ -322,6 +322,16 @@ func NewWriter(dir string) (*Writer, error) {
 		if !e.IsDir() {
 			continue
 		}
+		if strings.HasPrefix(e.Name(), ".") {
+			// A dot-prefixed directory is a staging area a previous writer
+			// abandoned mid-crash (bundles land via rename, so a completed
+			// one never keeps the prefix). Sweep it; it neither counts for
+			// numbering nor for dedup.
+			if strings.HasSuffix(e.Name(), tmpSuffix) {
+				_ = os.RemoveAll(filepath.Join(dir, e.Name()))
+			}
+			continue
+		}
 		num, _, _ := strings.Cut(e.Name(), "-")
 		if n, err := strconv.Atoi(num); err == nil && n > w.n {
 			w.n = n
@@ -344,21 +354,37 @@ func (w *Writer) Count() int {
 	return w.n
 }
 
+// tmpSuffix marks a writer's staging directory. Staging names also carry a
+// leading dot, which the GC walk, bundle listings and reopened writers all
+// skip — a half-written bundle is invisible everywhere until it is renamed
+// into place.
+const tmpSuffix = ".tmp"
+
 // Write persists the bundle as the next numbered directory and returns its
 // path; a bundle whose fingerprint was already written returns "" with no
-// error. The fingerprint is recorded (and the number consumed) only after
-// the bundle lands on disk, so a failed write can be retried when the bug
-// recurs. The lock is held across the disk write: bundles are rare (one per
-// distinct confirmed bug), so serializing them costs nothing measurable.
+// error. The bundle's files are staged in a dot-prefixed temp directory and
+// renamed into place, so concurrent readers of the tree (artifact listings,
+// retention GC) never observe a partially written bundle. The fingerprint
+// is recorded (and the number consumed) only after the rename, so a failed
+// write can be retried when the bug recurs. The lock is held across the
+// disk write: bundles are rare (one per distinct confirmed bug), so
+// serializing them costs nothing measurable.
 func (w *Writer) Write(b *Bundle) (string, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, dup := w.seen[b.Bug.Fingerprint]; dup {
 		return "", nil
 	}
-	dir := filepath.Join(w.dir, fmt.Sprintf("%04d-%s", w.n+1, b.Bug.Kind))
-	if err := WriteBundle(dir, b); err != nil {
+	name := fmt.Sprintf("%04d-%s", w.n+1, b.Bug.Kind)
+	tmp := filepath.Join(w.dir, "."+name+tmpSuffix)
+	if err := WriteBundle(tmp, b); err != nil {
+		_ = os.RemoveAll(tmp)
 		return "", err
+	}
+	dir := filepath.Join(w.dir, name)
+	if err := os.Rename(tmp, dir); err != nil {
+		_ = os.RemoveAll(tmp)
+		return "", fmt.Errorf("artifact: publishing %s: %w", dir, err)
 	}
 	w.n++
 	w.seen[b.Bug.Fingerprint] = struct{}{}

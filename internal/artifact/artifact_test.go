@@ -314,7 +314,7 @@ func TestGCRetention(t *testing.T) {
 	mid := write("c0001", "0002-sync", 2*time.Hour)
 	newest := write("c0002", "0001-inter", time.Hour)
 
-	removed, err := GC(root, 1)
+	removed, err := GC(root, 1, time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,10 +329,122 @@ func TestGCRetention(t *testing.T) {
 	}
 
 	// Under budget: nothing to do. retain <= 0 disables GC entirely.
-	if removed, err := GC(root, 5); err != nil || len(removed) != 0 {
+	if removed, err := GC(root, 5, time.Minute); err != nil || len(removed) != 0 {
 		t.Fatalf("under-budget GC removed %v (err=%v)", removed, err)
 	}
-	if removed, err := GC(root, 0); err != nil || len(removed) != 0 {
+	if removed, err := GC(root, 0, time.Minute); err != nil || len(removed) != 0 {
 		t.Fatalf("disabled GC removed %v (err=%v)", removed, err)
+	}
+}
+
+// TestGCGraceWindow: bundles younger than the grace window are exempt from
+// the retention budget — a freshly published bundle cannot be collected by
+// another campaign's GC pass — while still occupying budget, so the same
+// number of aged bundles is removed.
+func TestGCGraceWindow(t *testing.T) {
+	root := t.TempDir()
+	write := func(campaign, name string, age time.Duration) string {
+		t.Helper()
+		dir := filepath.Join(root, campaign, name)
+		b := testBundle(t)
+		b.Bug.Fingerprint = campaign + "/" + name
+		if err := WriteBundle(dir, b); err != nil {
+			t.Fatal(err)
+		}
+		mod := time.Now().Add(-age)
+		if err := os.Chtimes(filepath.Join(dir, BugFile), mod, mod); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	old := write("c0001", "0001-inter", 3*time.Hour)
+	fresh := write("c0002", "0001-sync", 0) // just published
+
+	// Budget 1 with both bundles present: the fresh one is newest, so a
+	// grace-less GC would keep it and delete the old one — but with grace
+	// the fresh bundle is also untouchable, so only the old one can go.
+	removed, err := GC(root, 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != old {
+		t.Fatalf("removed = %v, want [%s]", removed, old)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("bundle inside the grace window was collected: %v", err)
+	}
+
+	// With only the fresh bundle left, a repeat pass removes nothing: the
+	// grace window shields it even though the budget is exactly met.
+	if removed, err := GC(root, 1, time.Minute); err != nil || len(removed) != 0 {
+		t.Fatalf("GC removed fresh bundles %v (err=%v)", removed, err)
+	}
+}
+
+// TestGCSkipsInFlightWrites models the GC-vs-writer race directly: a
+// staging directory (dot-prefixed, as Writer.Write stages bundles before
+// renaming them into place) already contains a bug.json, yet GC must
+// neither count nor delete it, no matter how tight the budget.
+func TestGCSkipsInFlightWrites(t *testing.T) {
+	root := t.TempDir()
+	staging := filepath.Join(root, "c0001", ".0001-inter.tmp")
+	b := testBundle(t)
+	if err := WriteBundle(staging, b); err != nil {
+		t.Fatal(err)
+	}
+	mod := time.Now().Add(-3 * time.Hour) // even an old-looking temp dir is off-limits
+	if err := os.Chtimes(filepath.Join(staging, BugFile), mod, mod); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := GC(root, 1, 0); err != nil || len(removed) != 0 {
+		t.Fatalf("GC touched an in-flight bundle: removed=%v err=%v", removed, err)
+	}
+	if _, err := os.Stat(filepath.Join(staging, BugFile)); err != nil {
+		t.Fatalf("staging directory gone: %v", err)
+	}
+}
+
+// TestWriterStagesThenRenames pins the publish protocol: a successful Write
+// leaves exactly the final bundle (no temp residue), and a reopened writer
+// sweeps abandoned staging directories without letting them consume bundle
+// numbers or dedup slots.
+func TestWriterStagesThenRenames(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testBundle(t)
+	path, err := w.Write(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 || ents[0].Name() != filepath.Base(path) {
+		t.Fatalf("directory after Write = %v, want just %s", ents, filepath.Base(path))
+	}
+
+	// Abandon a staging dir as a crashed writer would, then reopen.
+	stale := filepath.Join(dir, ".0002-sync.tmp")
+	b2 := testBundle(t)
+	b2.Bug.Fingerprint = "other/fingerprint"
+	if err := WriteBundle(stale, b2); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("reopened writer kept stale staging dir (err=%v)", err)
+	}
+	// The abandoned bundle was never published: its fingerprint must not
+	// count as seen, and numbering continues from the published bundle.
+	path2, err := w2.Write(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path2) != "0002-"+b2.Bug.Kind {
+		t.Fatalf("second bundle = %s, want 0002-%s", filepath.Base(path2), b2.Bug.Kind)
 	}
 }

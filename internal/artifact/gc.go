@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -22,13 +23,40 @@ type bundleRef struct {
 // artifact directory (root/0001-inter) and the pmraced layout
 // (root/<campaign-id>/0001-inter) are covered. retain <= 0 disables GC.
 // The removed bundle paths are returned.
-func GC(root string, retain int) ([]string, error) {
+//
+// Two rules keep GC from racing an in-flight Writer on the same tree:
+// dot-prefixed directories (the Writer's stage-then-rename temp dirs) are
+// never touched, and bundles whose bug.json is younger than grace are
+// exempt from the budget — a bundle that just landed must stay fetchable
+// at least that long, even when an older campaign's GC pass runs over the
+// shared root moments later.
+func GC(root string, retain int, grace time.Duration) ([]string, error) {
 	if retain <= 0 {
 		return nil, nil
 	}
 	bundles, err := findBundles(root, 2)
 	if err != nil || len(bundles) <= retain {
 		return nil, err
+	}
+	if grace > 0 {
+		cutoff := time.Now().Add(-grace)
+		aged := bundles[:0]
+		for _, b := range bundles {
+			if b.mod.Before(cutoff) {
+				aged = append(aged, b)
+			}
+		}
+		// Bundles inside the grace window still occupy budget — they are
+		// only exempt from removal — so the excess shrinks accordingly.
+		excess := len(bundles) - retain
+		if excess > len(aged) {
+			excess = len(aged)
+		}
+		bundles = aged
+		retain = len(bundles) - excess
+	}
+	if len(bundles) <= retain {
+		return nil, nil
 	}
 	sort.Slice(bundles, func(i, j int) bool {
 		if !bundles[i].mod.Equal(bundles[j].mod) {
@@ -52,7 +80,8 @@ func GC(root string, retain int) ([]string, error) {
 }
 
 // findBundles walks up to depth levels below root collecting directories
-// that hold a bug.json. A missing root yields no bundles.
+// that hold a bug.json. Dot-prefixed directories are Writer staging areas
+// (or foreign noise) and are skipped. A missing root yields no bundles.
 func findBundles(root string, depth int) ([]bundleRef, error) {
 	entries, err := os.ReadDir(root)
 	if os.IsNotExist(err) {
@@ -63,7 +92,7 @@ func findBundles(root string, depth int) ([]bundleRef, error) {
 	}
 	var out []bundleRef
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
 		}
 		dir := filepath.Join(root, e.Name())

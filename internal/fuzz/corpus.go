@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -51,7 +52,10 @@ func LoadCorpus(dir string, threads int) ([]*workload.Seed, error) {
 // the number actually used. The file is created exclusively (O_EXCL),
 // skipping forward past occupied numbers, so concurrent campaigns sharing a
 // corpus directory — the pmraced per-target shared corpus — never clobber
-// each other's seeds.
+// each other's seeds. Colliding with a file that already holds this exact
+// seed is success, not an error: two campaigns over the same target and
+// seed routinely race to save identical coverage-improving inputs, and the
+// corpus only needs one copy.
 func SaveSeed(dir string, n int, seed *workload.Seed) (string, int, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", n, err
@@ -61,6 +65,9 @@ func SaveSeed(dir string, n int, seed *workload.Seed) (string, int, error) {
 		path := filepath.Join(dir, fmt.Sprintf("%06d.seed", n))
 		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 		if os.IsExist(err) {
+			if existing, rerr := os.ReadFile(path); rerr == nil && bytes.Equal(existing, data) {
+				return path, n, nil
+			}
 			n++
 			continue
 		}

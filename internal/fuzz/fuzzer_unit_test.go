@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"math/rand"
+	"os"
 	"testing"
 	"time"
 
@@ -219,5 +220,71 @@ func TestFuzzerPersistsImprovingSeeds(t *testing.T) {
 	}
 	if len(loaded) == 0 {
 		t.Fatalf("coverage-improving seeds must be persisted")
+	}
+}
+
+// TestSaveSeedIdenticalCollisionIsSuccess: colliding with a corpus file
+// that already holds the exact same seed reports success on the existing
+// path instead of writing a redundant copy — the shared per-target corpus
+// under pmraced needs only one copy of each input.
+func TestSaveSeedIdenticalCollisionIsSuccess(t *testing.T) {
+	dir := t.TempDir()
+	gen := workload.NewGenerator(1, 8, 4)
+	s := gen.NewSeed(12)
+	path1, n1, err := SaveSeed(dir, 0, s)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	path2, n2, err := SaveSeed(dir, 0, s)
+	if err != nil {
+		t.Fatalf("identical re-save must succeed, got %v", err)
+	}
+	if path2 != path1 || n2 != n1 {
+		t.Fatalf("identical re-save landed at %s (n=%d), want %s (n=%d)", path2, n2, path1, n1)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("corpus has %d files after duplicate save, want 1", len(ents))
+	}
+	// A different seed colliding on the same number still skips forward.
+	if _, n3, err := SaveSeed(dir, 0, gen.HotKeySeed(8)); err != nil || n3 != 1 {
+		t.Fatalf("differing seed: n=%d err=%v, want n=1", n3, err)
+	}
+}
+
+// TestSharedCorpusIdenticalCampaigns runs the same deterministic campaign
+// twice over one corpus directory (the pmraced shared per-target corpus):
+// the second campaign re-derives the first's improving seeds, every save
+// collides with an identical file, and none of that is an error — nor does
+// it duplicate the corpus.
+func TestSharedCorpusIdenticalCampaigns(t *testing.T) {
+	dir := t.TempDir()
+	run := func() *Fuzzer {
+		fz := NewWithFactory(stubFactory(true), Options{
+			MaxExecs: 6, Duration: 10 * time.Second, CorpusDir: dir, Seed: 5,
+		})
+		if _, err := fz.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return fz
+	}
+	f1 := run()
+	after1, err := LoadCorpus(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := run()
+	after2, err := LoadCorpus(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.corpusErr != nil || f2.corpusErr != nil {
+		t.Fatalf("corpus errors: %v / %v", f1.corpusErr, f2.corpusErr)
+	}
+	if len(after1) == 0 {
+		t.Fatalf("first campaign persisted no seeds")
+	}
+	if len(after2) != len(after1) {
+		t.Fatalf("identical second campaign grew the corpus from %d to %d seeds", len(after1), len(after2))
 	}
 }

@@ -1,0 +1,110 @@
+package fuzz
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/artifact"
+	"github.com/pmrace-go/pmrace/internal/core"
+	"github.com/pmrace-go/pmrace/internal/instr"
+	_ "github.com/pmrace-go/pmrace/internal/targets/pclhtgen"
+)
+
+// TestShadowFilePrefixMatchesGenerator pins the normalizer's prefix to the
+// generator's: if they drift, normalized shadow fingerprints stop matching
+// the hand-instrumented namespace. (fuzz deliberately does not import instr
+// outside tests.)
+func TestShadowFilePrefixMatchesGenerator(t *testing.T) {
+	if ShadowFilePrefix != instr.ShadowFilePrefix {
+		t.Fatalf("fuzz.ShadowFilePrefix = %q, instr.ShadowFilePrefix = %q; the two must stay identical", ShadowFilePrefix, instr.ShadowFilePrefix)
+	}
+}
+
+func TestNormalizeFingerprint(t *testing.T) {
+	cases := [][2]string{
+		{"inter|pminstr_pclht.go:334->pminstr_pclht.go:164=>pminstr_pclht.go:218|address",
+			"inter|pclht.go:334->pclht.go:164=>pclht.go:218|address"},
+		{"sync|bucket-lock@pminstr_pclht.go:201", "sync|bucket-lock@pclht.go:201"},
+		{"intra|a.go:1->b.go:2=>c.go:3|value", "intra|a.go:1->b.go:2=>c.go:3|value"},
+		// A prefix that is not at a token boundary is untouched.
+		{"sync|my_pminstr_lock@pminstr_x.go:9", "sync|my_pminstr_lock@x.go:9"},
+	}
+	for _, c := range cases {
+		if got := NormalizeFingerprint(c[0]); got != c[1] {
+			t.Errorf("NormalizeFingerprint(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+// campaignFingerprints runs one deterministic campaign against target name
+// and returns the normalized fingerprints of every validated bug.
+func campaignFingerprints(t *testing.T, name string) map[string]bool {
+	t.Helper()
+	fz, err := New(name, Options{
+		Threads:    4,
+		KeySpace:   12,
+		OpsPerSeed: 40,
+		MaxExecs:   60,
+		Duration:   60 * time.Second,
+		Seed:       7,
+		Workers:    2,
+	})
+	if err != nil {
+		t.Fatalf("new %s: %v", name, err)
+	}
+	res, err := fz.Run()
+	if err != nil {
+		t.Fatalf("run %s: %v", name, err)
+	}
+	fps := map[string]bool{}
+	for _, j := range res.DB.Inconsistencies() {
+		if j.Status == core.StatusBug {
+			fps[NormalizeFingerprint(artifact.FingerprintInconsistency(j.Inconsistency))] = true
+		}
+	}
+	for _, j := range res.DB.Syncs() {
+		if j.Status == core.StatusBug {
+			fps[NormalizeFingerprint(artifact.FingerprintSync(j.SyncInconsistency))] = true
+		}
+	}
+	return fps
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestGeneratedPCLHTMatchesHandInstrumented is the behavioural-fidelity
+// oracle for the pminstr generator: identical campaigns against the
+// hand-instrumented P-CLHT and the generated shadow must find the same
+// seeded bugs with the same file:line fingerprints (the shadow's pminstr_
+// file prefix normalized away).
+func TestGeneratedPCLHTMatchesHandInstrumented(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full fuzzing campaigns")
+	}
+	hand := campaignFingerprints(t, "pclht")
+	gen := campaignFingerprints(t, "pclht-gen")
+	t.Logf("hand bugs:\n  %v", sortedKeys(hand))
+	t.Logf("gen bugs:\n  %v", sortedKeys(gen))
+
+	if len(hand) == 0 {
+		t.Fatalf("hand-instrumented campaign found no validated bugs")
+	}
+	for fp := range hand {
+		if !gen[fp] {
+			t.Errorf("hand-instrumented bug %s not found by the generated shadow target", fp)
+		}
+	}
+	for fp := range gen {
+		if !hand[fp] {
+			t.Errorf("generated-shadow bug %s not found by the hand-instrumented target", fp)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package badplain is an instr test fixture: each function uses a pmplain
+// construct the v1 generator deliberately rejects, so Generate over this
+// package must fail with one diagnostic per function. The package still
+// type-checks — the restrictions are stylistic, not semantic.
+package badplain
+
+import (
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/pmplain"
+)
+
+// Nested buries a load inside a condition, so its taint label has no
+// variable to bind to.
+func Nested(t *pmplain.Mem) uint64 {
+	if t.Load64(8) != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Unsupported calls a pmplain.Mem method with no rt.Thread equivalent.
+func Unsupported(t *pmplain.Mem) *pmem.Pool {
+	return t.Pool()
+}
+
+// PlainAssign binds a load with = instead of :=, so no new variable exists
+// for the appended label result.
+func PlainAssign(t *pmplain.Mem) uint64 {
+	var x uint64
+	x = t.Load64(16)
+	return x
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the shared-vocabulary surface between pmvet and the pminstr
+// instrumentation generator (internal/instr): the generator classifies PM
+// accesses with exactly the tables the analyzers check, so the two tools can
+// never disagree about what counts as a persistent-memory operation. The
+// tables themselves stay unexported (hooks.go); only read access is exported.
+
+// HookKind is the exported alias of the analyzers' hook classification.
+type HookKind = hookKind
+
+// Exported hook kinds. HookNone classifies non-hooks.
+const (
+	HookNone    = hookNone
+	HookLoad    = hookLoad
+	HookStore   = hookStore
+	HookNTStore = hookNTStore
+	HookCAS     = hookCAS
+	HookFlush   = hookFlush
+	HookPersist = hookPersist
+	HookFence   = hookFence
+	HookLock    = hookLock
+	HookUnlock  = hookUnlock
+)
+
+// ThreadHookKind classifies an rt.Thread hook method name (the same names
+// the pmplain.Mem dialect mirrors), returning HookNone for non-hooks.
+func ThreadHookKind(method string) HookKind { return rtHookKinds[method] }
+
+// ThreadHookNames returns every rt.Thread hook method name, sorted, for
+// tools that enumerate the full hook vocabulary.
+func ThreadHookNames() []string {
+	out := make([]string, 0, len(rtHookKinds))
+	for name := range rtHookKinds {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsRawPoolMethod reports whether name is a pmem.Pool data or persistency
+// method — the uninstrumented layer pmvet's missing-hook analyzer flags.
+func IsRawPoolMethod(name string) bool { return rawPoolMethods[name] }
+
+// MethodRecv resolves the receiver of a method call's selector, returning
+// the defining package path, type name and method name ("", "", "" for
+// non-methods).
+func MethodRecv(info *types.Info, sel *ast.SelectorExpr) (pkgPath, typeName, method string) {
+	return methodRecv(info, sel)
+}

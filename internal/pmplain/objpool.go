@@ -1,0 +1,82 @@
+package pmplain
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pmrace-go/pmrace/internal/pmdk"
+	"github.com/pmrace-go/pmrace/internal/pmem"
+)
+
+// ObjPool is the plain-dialect mirror of pmdk.ObjPool: pool formatting, a
+// root object and a bump allocator over the same on-media layout, written
+// without instrumentation hooks. pminstr maps the pmplain pool API onto the
+// instrumented pmdk one (pmplain.Create → pmdk.Create and so on), so a pool
+// formatted by plain code opens cleanly under the instrumented runtime and
+// vice versa. The layout constants are asserted against pmdk by
+// TestObjPoolLayoutMatchesPMDK.
+type ObjPool struct {
+	allocMu sync.Mutex
+	size    uint64
+}
+
+// Header offsets, mirroring pmdk's pool layout.
+const (
+	offMagic   = 0
+	offRoot    = 8
+	offHeapTop = 16
+)
+
+// Create formats the pool behind m: zero every line, then write the header.
+func Create(m *Mem) *ObjPool {
+	p := &ObjPool{size: m.Pool().Size()}
+	zero := make([]byte, pmem.LineSize)
+	for off := uint64(0); off < p.size; off += pmem.LineSize {
+		m.NTStoreBytes(off, zero)
+	}
+	m.NTStore64(offHeapTop, pmdk.HeapBase)
+	m.NTStore64(offRoot, 0)
+	m.NTStore64(offMagic, pmdk.Magic)
+	m.Fence()
+	return p
+}
+
+// Open maps an existing formatted pool. The plain dialect has no
+// transactions, so unlike pmdk.Open there is no undo-log recovery to run.
+func Open(m *Mem) (*ObjPool, error) {
+	if magic := m.Load64(offMagic); magic != pmdk.Magic {
+		return nil, fmt.Errorf("%w: magic %#x", pmdk.ErrNotFormatted, magic)
+	}
+	return &ObjPool{size: m.Pool().Size()}, nil
+}
+
+// Root returns the root object offset (0 when unset).
+func (p *ObjPool) Root(m *Mem) pmem.Addr { return m.Load64(offRoot) }
+
+// SetRoot durably points the pool's root object at off.
+func (p *ObjPool) SetRoot(m *Mem, off pmem.Addr) {
+	m.Store64(offRoot, off)
+	m.Persist(offRoot, 8)
+}
+
+// Alloc carves size bytes (rounded up to a cache line) off the persistent
+// heap and durably advances the bump pointer before returning.
+func (p *ObjPool) Alloc(m *Mem, size uint64) (pmem.Addr, error) {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	if rem := size % pmem.LineSize; rem != 0 {
+		size += pmem.LineSize - rem
+	}
+	top := m.Load64(offHeapTop)
+	if top+size > p.size {
+		return 0, pmdk.ErrOutOfMemory
+	}
+	m.Store64(offHeapTop, top+size)
+	m.Persist(offHeapTop, 8)
+	return top, nil
+}
+
+// HeapUsed returns the number of allocated heap bytes.
+func (p *ObjPool) HeapUsed(m *Mem) uint64 {
+	return m.Load64(offHeapTop) - pmdk.HeapBase
+}

@@ -65,6 +65,13 @@ func (s *Supervisor) Handler() http.Handler {
 		// The emitter exists from submission; subscribers attached while
 		// the campaign is Pending see the complete stream. On a terminal
 		// campaign the emitter is closed and the stream ends immediately.
+		// Campaigns restored from a pre-restart record have no emitter at
+		// all — their event stream died with the old process.
+		if c.em == nil {
+			writeErr(w, &api.Error{StatusCode: 409, Code: api.CodeConflict,
+				Message: fmt.Sprintf("campaign %s finished before a server restart; its event stream is gone", c.id)})
+			return
+		}
 		obs.ServeSSE(w, r, c.em)
 	})
 	mux.HandleFunc("GET "+api.BasePath+"/campaigns/{id}/artifacts", func(w http.ResponseWriter, r *http.Request) {
@@ -116,6 +123,9 @@ func (s *Supervisor) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 	for _, id := range s.order {
 		c := s.campaigns[id]
+		if c.em == nil { // restored after a restart: no live registry
+			continue
+		}
 		regs = append(regs, obs.LabeledRegistry{
 			Labels: []obs.Label{{Name: "campaign", Value: c.id}, {Name: "target", Value: c.spec.Target}},
 			Reg:    c.em.Registry(),

@@ -453,3 +453,114 @@ func TestMetricsLabeledByCampaign(t *testing.T) {
 		t.Fatalf("/metrics missing labeled series %s:\n%s", want, body)
 	}
 }
+
+// TestRestartRemembersTerminalCampaigns is the durability round-trip: a
+// campaign runs to completion, the server drains (process "exit"), and a
+// fresh Supervisor over the same DataDir must still serve the campaign's
+// record — same state, bugs and final stats — keep its artifacts fetchable,
+// refuse to cancel it, keep its bug fingerprints in the dedup store, and
+// allocate non-colliding IDs for new submissions.
+func TestRestartRemembersTerminalCampaigns(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx := context.Background()
+
+	sup1, cl1 := newTestServer(t, serve.Config{WorkerBudget: 2, DataDir: dataDir})
+	spec := api.CampaignSpec{Target: "pclht", Workers: 1, Threads: 2,
+		MaxExecs: 30, Duration: time.Minute, Seed: 7, Artifacts: true}
+	doc, err := cl1.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, cl1, doc.ID, api.StateDone)
+	arts1, err := cl1.Artifacts(ctx, doc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: drain the first supervisor, bring up a second on the same
+	// data directory. (newTestServer's cleanup drains again at test end;
+	// draining a drained supervisor is a no-op.)
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = sup1.Drain(drainCtx)
+	cancel()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	_, cl2 := newTestServer(t, serve.Config{WorkerBudget: 2, DataDir: dataDir})
+
+	got, err := cl2.Get(ctx, doc.ID)
+	if err != nil {
+		t.Fatalf("restarted server forgot campaign %s: %v", doc.ID, err)
+	}
+	if got.State != api.StateDone {
+		t.Fatalf("restored state = %q, want done", got.State)
+	}
+	if got.Stats.Execs != final.Stats.Execs {
+		t.Errorf("restored stats.execs = %d, want %d", got.Stats.Execs, final.Stats.Execs)
+	}
+	if len(got.Bugs) != len(final.Bugs) {
+		t.Fatalf("restored %d bugs, want %d", len(got.Bugs), len(final.Bugs))
+	}
+	for i := range final.Bugs {
+		if got.Bugs[i].Fingerprint != final.Bugs[i].Fingerprint {
+			t.Errorf("restored bug %d fingerprint = %q, want %q",
+				i, got.Bugs[i].Fingerprint, final.Bugs[i].Fingerprint)
+		}
+	}
+
+	list, err := cl2.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range list {
+		found = found || c.ID == doc.ID
+	}
+	if !found {
+		t.Fatalf("restored campaign %s missing from list", doc.ID)
+	}
+
+	// Artifacts live on disk, so the restart keeps serving them.
+	arts2, err := cl2.Artifacts(ctx, doc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts2) != len(arts1) {
+		t.Fatalf("restored %d artifacts, want %d", len(arts2), len(arts1))
+	}
+	if len(arts2) > 0 {
+		if _, err := cl2.Artifact(ctx, doc.ID, arts2[0].Name); err != nil {
+			t.Fatalf("fetching restored artifact: %v", err)
+		}
+	}
+
+	// A restored campaign is terminal: cancelling is a conflict, and its
+	// dead event stream is refused cleanly rather than hanging.
+	if _, err := cl2.Cancel(ctx, doc.ID); !api.IsCode(err, api.CodeConflict) {
+		t.Fatalf("cancel restored: err = %v, want code %q", err, api.CodeConflict)
+	}
+
+	// New submissions must not collide with restored IDs, and the dedup
+	// store must remember the pre-restart fingerprints: the same seeded
+	// campaign re-finding the same bugs sees them flagged as duplicates.
+	doc2, err := cl2.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.ID == doc.ID {
+		t.Fatalf("restarted server reallocated campaign ID %s", doc.ID)
+	}
+	final2 := waitState(t, cl2, doc2.ID, api.StateDone)
+	if len(final.Bugs) > 0 {
+		dups := 0
+		for _, b := range final2.Bugs {
+			if b.Duplicate && b.FirstReportedBy == doc.ID {
+				dups++
+			}
+		}
+		if dups == 0 {
+			t.Fatalf("re-run campaign re-found no pre-restart fingerprints as duplicates: %+v", final2.Bugs)
+		}
+	}
+}

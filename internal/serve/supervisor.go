@@ -38,6 +38,7 @@ import (
 	_ "github.com/pmrace-go/pmrace/internal/targets/fastfair"
 	_ "github.com/pmrace-go/pmrace/internal/targets/memcached"
 	_ "github.com/pmrace-go/pmrace/internal/targets/pclht"
+	_ "github.com/pmrace-go/pmrace/internal/targets/pclhtgen"
 )
 
 // Config sizes a Supervisor. The zero value is usable: 4 shared workers, a
@@ -57,6 +58,10 @@ type Config struct {
 	// after each campaign finishes the oldest beyond it are collected
 	// (internal/artifact.GC). 0 keeps everything.
 	Retention int
+	// GCGrace exempts bundles younger than it from retention GC, so one
+	// campaign's post-run sweep never deletes a bundle another in-flight
+	// campaign just published (default 1m; negative disables the grace).
+	GCGrace time.Duration
 	// DrainTimeout bounds Drain's wait for in-flight executions
 	// (default 30s).
 	DrainTimeout time.Duration
@@ -78,6 +83,11 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.GCGrace == 0 {
+		c.GCGrace = time.Minute
+	} else if c.GCGrace < 0 {
+		c.GCGrace = 0
+	}
 	if c.TraceSample == 0 {
 		c.TraceSample = obs.DefaultTraceSample
 	}
@@ -97,6 +107,11 @@ type campaign struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	artDir string
+	// restored is the persisted final document of a campaign reloaded after
+	// a server restart. A restored campaign has no fuzzer, emitter, tracer
+	// or context — it exists to keep its record (and artifacts) readable —
+	// so every path below that touches those fields guards on it.
+	restored *api.Campaign
 
 	mu       sync.Mutex
 	state    api.State
@@ -148,11 +163,17 @@ func New(cfg Config) (*Supervisor, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "artifacts"), 0o755); err != nil {
 		return nil, err
 	}
+	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "campaigns"), 0o755); err != nil {
+		return nil, err
+	}
 	s := &Supervisor{
 		cfg:       cfg,
 		reg:       obs.NewRegistry(),
 		campaigns: map[string]*campaign{},
 		seen:      map[string]map[string]string{},
+	}
+	if err := s.restoreCampaigns(); err != nil {
+		return nil, err
 	}
 	s.sampler = obs.StartRuntimeSampler(s.reg, time.Second)
 	return s, nil
@@ -357,6 +378,7 @@ func (s *Supervisor) run(c *campaign) {
 	c.mu.Unlock()
 	close(c.done)
 	c.em.Close()
+	s.persistCampaign(c)
 
 	s.mu.Lock()
 	s.used -= workersOf(c)
@@ -366,7 +388,7 @@ func (s *Supervisor) run(c *campaign) {
 	if s.cfg.Retention > 0 {
 		// Retention is a global budget across campaigns; GC walks the
 		// artifacts root and removes the oldest bundles beyond it.
-		_, _ = artifact.GC(filepath.Join(s.cfg.DataDir, "artifacts"), s.cfg.Retention)
+		_, _ = artifact.GC(filepath.Join(s.cfg.DataDir, "artifacts"), s.cfg.Retention, s.cfg.GCGrace)
 	}
 }
 
@@ -429,6 +451,20 @@ func (s *Supervisor) dedupBugs(c *campaign, res *fuzz.Result) []api.Bug {
 
 // document renders the campaign's current api.Campaign.
 func (s *Supervisor) document(c *campaign) api.Campaign {
+	if c.restored != nil {
+		// A restored campaign serves its persisted final document; only the
+		// artifact count is recomputed, since retention GC may have run
+		// since the record was written.
+		doc := *c.restored
+		doc.Bugs = append([]api.Bug(nil), c.restored.Bugs...)
+		if c.artDir != "" {
+			doc.ArtifactCount = 0
+			if names, err := listBundles(c.artDir); err == nil {
+				doc.ArtifactCount = len(names)
+			}
+		}
+		return doc
+	}
 	c.mu.Lock()
 	state := c.state
 	cerr := c.err
@@ -520,6 +556,7 @@ func (s *Supervisor) Cancel(id string) (api.Campaign, error) {
 		close(c.done)
 		c.cancel()
 		c.em.Close()
+		s.persistCampaign(c)
 	case c.state.Terminal():
 		state := c.state
 		c.mu.Unlock()
@@ -594,6 +631,7 @@ func (s *Supervisor) Drain(ctx context.Context) error {
 		close(c.done)
 		c.cancel()
 		c.em.Close()
+		s.persistCampaign(c)
 	}
 	for _, c := range running {
 		c.cancel()
@@ -629,7 +667,9 @@ func listBundles(dir string) ([]string, error) {
 	}
 	var names []string
 	for _, e := range ents {
-		if !e.IsDir() {
+		// Dot-prefixed directories are the artifact writer's staging areas:
+		// a bundle mid-write, not yet renamed into place.
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
 		}
 		if _, err := os.Stat(filepath.Join(dir, e.Name(), artifact.BugFile)); err == nil {

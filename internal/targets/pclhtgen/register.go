@@ -1,0 +1,23 @@
+// Package pclhtgen is the pminstr-generated shadow of the P-CLHT target:
+// the plain source in internal/targets/pclhtplain run through the
+// auto-instrumentation generator (cmd/pminstr). Everything except this file
+// is generated — regenerate with:
+//
+//	go run ./cmd/pminstr -src internal/targets/pclhtplain -out internal/targets/pclhtgen -pkg pclhtgen
+//
+// CI regenerates the package with -diff (drift is an error) and runs pmvet
+// over it pinned to zero findings. The conformance and shadow-diff tests
+// assert that this target behaves identically to the hand-instrumented
+// internal/targets/pclht — same seeded bugs, same file:line fingerprints
+// (modulo the pminstr_ file prefix, normalized by internal/fuzz).
+//
+// This file is hand-written: generated output deliberately carries no init
+// function, so registration (which panics on duplicate names) stays under
+// human control.
+package pclhtgen
+
+import "github.com/pmrace-go/pmrace/internal/targets"
+
+func init() {
+	targets.Register("pclht-gen", func() targets.Target { return New() })
+}
