@@ -110,6 +110,9 @@ type CampaignSpec struct {
 	// KeySpace / OpsPerSeed shape the generated workload.
 	KeySpace   int `json:"key_space,omitempty"`
 	OpsPerSeed int `json:"ops_per_seed,omitempty"`
+	// Protocol fuzzes through memcached text-protocol byte streams instead
+	// of synthetic operation vectors (the wire front-end mode).
+	Protocol bool `json:"protocol,omitempty"`
 	// MaxCrashStates caps crash states validated per finding.
 	MaxCrashStates int `json:"max_crash_states,omitempty"`
 	// InlineValidation validates findings synchronously on the discovering

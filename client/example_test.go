@@ -1,0 +1,49 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/pmrace-go/pmrace/api"
+	"github.com/pmrace-go/pmrace/client"
+)
+
+// Example shows the remote campaign workflow end to end: submit a spec to
+// a pmraced server, block until the campaign is terminal, and read the bug
+// inventory. It has no Output comment because it needs a live server
+// (start one with `pmraced -addr :7762`); godoc still renders and compiles
+// it.
+func Example() {
+	cl := client.New("http://127.0.0.1:7762")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Submit returns as soon as the campaign is accepted; it may queue
+	// behind others for the shared worker budget.
+	c, err := cl.Submit(ctx, api.CampaignSpec{
+		Target:   "pmwal",
+		Protocol: true, // fuzz through memcached text-protocol byte streams
+		Workers:  2,
+		MaxExecs: 600,
+	})
+	if err != nil {
+		fmt.Println("submit:", err)
+		return
+	}
+
+	// Wait polls until the campaign reaches a terminal state (0 = default
+	// poll interval) and returns the final document.
+	final, err := cl.Wait(ctx, c.ID, 0)
+	if err != nil {
+		fmt.Println("wait:", err)
+		return
+	}
+	fmt.Println(final.State, "after", final.Stats.Execs, "executions")
+	for _, b := range final.Bugs {
+		if b.Duplicate {
+			continue // already reported by an earlier campaign on this target
+		}
+		fmt.Printf("[%s] %s — %s\n", b.Kind, b.Site, b.Summary)
+	}
+}

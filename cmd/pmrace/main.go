@@ -72,6 +72,7 @@ func run() int {
 		threads   = flag.Int("threads", 4, "driver threads per execution")
 		seed      = flag.Int64("seed", 1, "random seed")
 		mode      = flag.String("mode", "pmrace", "exploration: pmrace | delay | none")
+		proto     = flag.Bool("proto", false, "fuzz through memcached text-protocol byte streams instead of synthetic op vectors")
 		noCP      = flag.Bool("no-checkpoints", false, "disable in-memory pool checkpoints")
 		eadr      = flag.Bool("eadr", false, "model battery-backed caches (stores durable at visibility)")
 		corpus    = flag.String("corpus", "", "seed-corpus directory (loaded at start, improving seeds saved back)")
@@ -144,6 +145,9 @@ func run() int {
 			return 2
 		}
 		options = append(options, pmrace.WithAliasHints(hints))
+	}
+	if *proto {
+		options = append(options, pmrace.WithProtocolTraffic())
 	}
 	if *noCP {
 		options = append(options, pmrace.WithoutCheckpoints())

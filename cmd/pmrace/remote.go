@@ -49,6 +49,17 @@ func remoteFlags(name string) (*flag.FlagSet, *string) {
 	return fs, server
 }
 
+// submitErrorLine renders a submit failure for the terminal. An unknown
+// target is an operator typo, not a protocol failure, so instead of the raw
+// API error envelope it prints the server's one-line explanation, which
+// ends with the registered-target listing.
+func submitErrorLine(err error) string {
+	if ae, ok := err.(*api.Error); ok && ae.Code == api.CodeUnknownTarget {
+		return fmt.Sprintf("pmrace: %s", ae.Message)
+	}
+	return fmt.Sprintf("pmrace: submit: %v", err)
+}
+
 func runSubmit(args []string) int {
 	fs, server := remoteFlags("submit")
 	var (
@@ -59,6 +70,7 @@ func runSubmit(args []string) int {
 		execs     = fs.Int("execs", 0, "execution budget (0 = server default)")
 		duration  = fs.Duration("duration", 0, "wall-clock budget (0 = server default)")
 		seed      = fs.Int64("seed", 0, "random seed (0 = unseeded default)")
+		proto     = fs.Bool("proto", false, "fuzz through memcached text-protocol byte streams instead of synthetic op vectors")
 		artifacts = fs.Bool("artifacts", false, "write a forensic bundle per confirmed bug (fetch via the artifacts endpoints)")
 		artAll    = fs.Bool("artifacts-all", false, "with -artifacts: also bundle validated/whitelisted false positives")
 		traceSmpl = fs.Int("trace-sample", 0, "span-sampling rate: 0 = server default, N samples every Nth exec, negative disables tracing")
@@ -74,11 +86,11 @@ func runSubmit(args []string) int {
 
 	doc, err := cl.Submit(ctx, api.CampaignSpec{
 		Target: *target, Mode: *mode, Workers: *workers, Threads: *threads,
-		MaxExecs: *execs, Duration: *duration, Seed: *seed,
+		MaxExecs: *execs, Duration: *duration, Seed: *seed, Protocol: *proto,
 		Artifacts: *artifacts, ArtifactsAll: *artAll, TraceSample: *traceSmpl,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pmrace: submit: %v\n", err)
+		fmt.Fprintln(os.Stderr, submitErrorLine(err))
 		return 2
 	}
 	if !*wait {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/pmrace-go/pmrace/api"
+	"github.com/pmrace-go/pmrace/internal/serve"
+)
+
+// TestSubmitErrorLineUnknownTarget: a typo'd target name must print the
+// server's friendly one-liner — which names every registered target — not
+// the raw API error envelope.
+func TestSubmitErrorLineUnknownTarget(t *testing.T) {
+	sup, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatalf("new supervisor: %v", err)
+	}
+	_, err = sup.Submit(api.CampaignSpec{Target: "memcachd"})
+	if err == nil {
+		t.Fatal("submit of unknown target succeeded")
+	}
+	line := submitErrorLine(err)
+	if strings.Contains(line, "unknown_target") || strings.Contains(line, "pmraced:") {
+		t.Fatalf("raw API envelope leaked into the terminal line: %q", line)
+	}
+	for _, want := range []string{"pmrace: ", `unknown target "memcachd"`, "registered", "memcached", "pmwal"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q does not mention %q", line, want)
+		}
+	}
+}
+
+// TestSubmitErrorLineOtherErrors: every other failure keeps the submit:
+// prefix and full error so operators can see the code.
+func TestSubmitErrorLineOtherErrors(t *testing.T) {
+	line := submitErrorLine(&api.Error{StatusCode: 503, Code: api.CodeDraining, Message: "server is draining"})
+	if !strings.Contains(line, "submit:") || !strings.Contains(line, api.CodeDraining) {
+		t.Fatalf("non-target errors must keep the raw form: %q", line)
+	}
+	line = submitErrorLine(errors.New("connection refused"))
+	if !strings.Contains(line, "submit: connection refused") {
+		t.Fatalf("transport errors must keep the raw form: %q", line)
+	}
+}

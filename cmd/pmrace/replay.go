@@ -67,7 +67,7 @@ func replaySeed(targetName, path string, threads int) error {
 		return fmt.Errorf("reading seed: %w", err)
 	}
 	seed := workload.Decode(string(data), threads)
-	if len(seed.Ops) == 0 {
+	if seed.Empty() {
 		return fmt.Errorf("seed %s contains no operations", path)
 	}
 	factory := func() targets.Target {
@@ -86,7 +86,12 @@ func replaySeed(targetName, path string, threads int) error {
 		HangTimeout:    150 * time.Millisecond,
 	})
 
-	fmt.Printf("replaying %s (%d ops, %d threads) against %s\n", path, len(seed.Ops), threads, targetName)
+	if seed.Proto != nil {
+		fmt.Printf("replaying %s (%d protocol commands over %d streams, %d threads) against %s\n",
+			path, seed.Size(), len(seed.Proto.Streams), threads, targetName)
+	} else {
+		fmt.Printf("replaying %s (%d ops, %d threads) against %s\n", path, len(seed.Ops), threads, targetName)
+	}
 	base, err := x.Run(seed, sched.None{})
 	if err != nil {
 		return err

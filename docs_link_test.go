@@ -1,0 +1,76 @@
+package pmrace_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links and autolinks are rare enough in this repo to not need handling.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinksResolve walks every markdown file in the repository and
+// asserts that each relative link points at a file or directory that
+// exists, so renames and deletions cannot silently orphan the docs
+// (README → OPERATIONS/DESIGN/EXPERIMENTS cross-references in particular).
+func TestDocsLinksResolve(t *testing.T) {
+	var checked int
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		// SNIPPETS.md and PAPERS.md carry verbatim excerpts from other
+		// repositories and papers; their links point into those trees.
+		if path == "SNIPPETS.md" || path == "PAPERS.md" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue // external links and in-page anchors
+			}
+			// Drop an anchor fragment: DESIGN.md#13-... must resolve the
+			// file part.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s): %v", path, m[1], resolved, err)
+			}
+			checked++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking repository: %v", err)
+	}
+	if checked == 0 {
+		t.Fatal("no relative markdown links found; the checker is not seeing the docs")
+	}
+	t.Logf("checked %d relative links", checked)
+}

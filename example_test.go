@@ -55,3 +55,33 @@ func ExampleNewCampaign() {
 	// Output:
 	// found a Inter bug
 }
+
+// ExampleWithProtocolTraffic runs the same campaign shape through the
+// memcached text-protocol front-end: seeds are per-connection byte streams
+// (pipelined commands, malformed frames, mid-request crash points) parsed
+// by internal/wire, and the pmwal target's torn-append bug — unreachable
+// from synthetic op vectors, whose values are too short — is exposed by
+// the generator's multi-cache-line values.
+func ExampleWithProtocolTraffic() {
+	c, err := pmrace.NewCampaign(context.Background(), "pmwal",
+		pmrace.WithProtocolTraffic(),
+		pmrace.WithBudget(60, 0),
+		pmrace.WithThreads(4),
+		pmrace.WithKeySpace(6),
+		pmrace.WithOpsPerSeed(30),
+		pmrace.WithSeed(11))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := c.Wait()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if res.Counts.Inter+res.Counts.Intra > 0 {
+		fmt.Println("protocol traffic exposed a seeded pmwal inconsistency")
+	}
+	// Output:
+	// protocol traffic exposed a seeded pmwal inconsistency
+}

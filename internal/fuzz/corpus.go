@@ -41,7 +41,7 @@ func LoadCorpus(dir string, threads int) ([]*workload.Seed, error) {
 			return nil, fmt.Errorf("fuzz: reading seed %s: %w", name, err)
 		}
 		seed := workload.Decode(string(data), threads)
-		if len(seed.Ops) > 0 {
+		if !seed.Empty() {
 			out = append(out, seed)
 		}
 	}

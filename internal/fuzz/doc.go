@@ -4,4 +4,12 @@
 // strategy, the three-tier exploration loop (§4.2.3), in-memory pool
 // checkpoints replacing AFL++'s fork server (§5), post-failure validation
 // dispatch (§4.4), and result aggregation for the evaluation harness.
+//
+// Beyond the paper, Options.Protocol switches the campaign to
+// protocol-traffic fuzzing (DESIGN.md §16): seeds become per-connection
+// memcached text-protocol byte streams played through the internal/wire
+// front-end, mutated by ProtoMutator, with mid-request crash points whose
+// pool snapshots are replayed through target recovery. Parsed commands
+// enter the target through the same Exec path as synthetic seeds, so bug
+// fingerprints are identical across the two modes.
 package fuzz

@@ -56,6 +56,11 @@ type ExecResult struct {
 	Duration      time.Duration
 	SetupDuration time.Duration
 	ExecErrors    int
+	// CrashImages are PM snapshots taken at a protocol seed's mid-request
+	// crash points (between parse and PM commit); CrashFailures reports
+	// those whose recovery replay hung, errored or timed out.
+	CrashImages   [][]byte
+	CrashFailures []string
 }
 
 // InterInconsistencies counts detected cross-thread inconsistencies.
@@ -310,38 +315,64 @@ func (x *Executor) RunTraced(seed *workload.Seed, strat sched.Strategy, lane int
 	// makes the threads actually overlap: without it, goroutine startup
 	// latency exceeds a short workload's runtime and the execution
 	// degenerates to sequential order with no cross-thread windows.
-	parts := seed.Split()
-	env.BeginExec(len(parts))
 	gate := make(chan struct{})
 	var ready sync.WaitGroup
 	var wg sync.WaitGroup
-	for _, ops := range parts {
-		wg.Add(1)
-		ready.Add(1)
-		go func(ops []workload.Op) {
-			defer wg.Done()
-			th := env.Spawn()
-			defer th.Exit()
-			ready.Done()
-			<-gate
-			defer func() {
-				// A hung thread abandons its remaining
-				// operations; the hang was already reported
-				// through OnHang.
-				if r := recover(); r != nil {
-					if _, ok := r.(rt.HangError); !ok {
-						panic(r)
+	if seed.Proto != nil && len(seed.Proto.Streams) > 0 {
+		// Protocol mode: each driver thread is a server worker playing
+		// recorded connection byte streams through the wire parser.
+		nthreads := protoThreadCount(seed)
+		env.BeginExec(nthreads)
+		for ti := 0; ti < nthreads; ti++ {
+			wg.Add(1)
+			ready.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				th := env.Spawn()
+				defer th.Exit()
+				ready.Done()
+				<-gate
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(rt.HangError); !ok {
+							panic(r)
+						}
+					}
+				}()
+				x.protoWorker(th, tgt, seed, ti, nthreads, res, &mu)
+			}(ti)
+		}
+	} else {
+		parts := seed.Split()
+		env.BeginExec(len(parts))
+		for _, ops := range parts {
+			wg.Add(1)
+			ready.Add(1)
+			go func(ops []workload.Op) {
+				defer wg.Done()
+				th := env.Spawn()
+				defer th.Exit()
+				ready.Done()
+				<-gate
+				defer func() {
+					// A hung thread abandons its remaining
+					// operations; the hang was already reported
+					// through OnHang.
+					if r := recover(); r != nil {
+						if _, ok := r.(rt.HangError); !ok {
+							panic(r)
+						}
+					}
+				}()
+				for _, op := range ops {
+					if execErr := tgt.Exec(th, op); execErr != nil {
+						mu.Lock()
+						res.ExecErrors++
+						mu.Unlock()
 					}
 				}
-			}()
-			for _, op := range ops {
-				if execErr := tgt.Exec(th, op); execErr != nil {
-					mu.Lock()
-					res.ExecErrors++
-					mu.Unlock()
-				}
-			}
-		}(ops)
+			}(ops)
+		}
 	}
 	ready.Wait()
 	close(gate)
@@ -354,6 +385,15 @@ func (x *Executor) RunTraced(seed *workload.Seed, strat sched.Strategy, lane int
 		asp.SetAttr("records", strconv.FormatInt(records, 10))
 	}
 	asp.End()
+
+	// Replay each mid-request crash image through the target's recovery
+	// code: a server that cannot recover from a crash between parse and
+	// commit has a durability bug regardless of any detected race.
+	for _, img := range res.CrashImages {
+		if msg := x.checkCrashRecovery(img); msg != "" {
+			res.CrashFailures = append(res.CrashFailures, msg)
+		}
+	}
 
 	res.Candidates = env.Detector().Candidates()
 	res.Redundant = env.Detector().RedundantStores()

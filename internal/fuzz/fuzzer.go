@@ -81,6 +81,12 @@ type Options struct {
 	// Mutator overrides the default operation mutator (the Table 4
 	// baseline passes a ByteMutator).
 	Mutator Mutator
+	// Protocol switches the campaign to protocol-traffic mode: seeds are
+	// recorded memcached text-protocol byte streams played through the
+	// internal/wire front-end (one stream per connection), generated and
+	// mutated by the protocol generator/mutator, with mid-request crash
+	// points validated against the target's recovery code.
+	Protocol bool
 	// HangTimeout bounds lock acquisition per thread.
 	HangTimeout time.Duration
 	// RedundantThreshold is the dynamic-occurrence count above which a
@@ -299,7 +305,11 @@ func NewWithFactory(factory targets.Factory, opts Options) *Fuzzer {
 	wl.Add(opts.ExtraWhitelist...)
 	mut := opts.Mutator
 	if mut == nil {
-		mut = NewOpMutator(opts.KeySpace, opts.Threads, opts.OpsPerSeed)
+		if opts.Protocol {
+			mut = NewProtoMutator(opts.Seed, opts.KeySpace, opts.Threads)
+		} else {
+			mut = NewOpMutator(opts.KeySpace, opts.Threads, opts.OpsPerSeed)
+		}
 	}
 	f := &Fuzzer{
 		factory:    factory,
@@ -396,23 +406,36 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 	if f.opts.ArtifactAll && f.artifacts == nil {
 		return nil, fmt.Errorf("fuzz: ArtifactAll requires an artifact directory (set ArtifactDir)")
 	}
-	gen := workload.NewGenerator(f.opts.Seed, f.opts.KeySpace, f.opts.Threads)
 	// The initial corpus combines a random mixed-operation seed, a
 	// populate-heavy seed (the load phase with many insertions triggers
 	// the resizing mechanisms of PM key-value stores and indexes) and a
 	// hot-key read-modify-write seed (similar keys maximize shared PM
-	// accesses and arm the read-after-write sync points) — §4.5.
-	initial := []*workload.Seed{
-		gen.NewSeed(f.opts.OpsPerSeed),
-		gen.PopulationSeed(f.opts.OpsPerSeed * 2),
-		gen.HotKeySeed(f.opts.OpsPerSeed),
+	// accesses and arm the read-after-write sync points) — §4.5. Protocol
+	// mode seeds the analogous byte-stream shapes: a zipfian traffic mix, a
+	// connection-churn seed, and a hot-key pipelined-burst seed.
+	var initial []*workload.Seed
+	if f.opts.Protocol {
+		pg := workload.NewProtoGen(f.opts.Seed, f.opts.KeySpace, f.opts.Threads)
+		cmds := max(f.opts.OpsPerSeed/2, 8)
+		initial = []*workload.Seed{
+			pg.MixSeed(f.opts.Threads*2, cmds),
+			pg.ChurnSeed(f.opts.Threads * 4),
+			pg.HotSeed(f.opts.Threads*2, cmds),
+		}
+	} else {
+		gen := workload.NewGenerator(f.opts.Seed, f.opts.KeySpace, f.opts.Threads)
+		initial = []*workload.Seed{
+			gen.NewSeed(f.opts.OpsPerSeed),
+			gen.PopulationSeed(f.opts.OpsPerSeed * 2),
+			gen.HotKeySeed(f.opts.OpsPerSeed),
+		}
 	}
 	f.mu.Lock()
 	f.corpus = initial
 	f.mu.Unlock()
 	for _, s := range initial {
 		f.mSeeds.Inc()
-		f.em.Emit(&obs.SeedAccepted{Origin: "initial", Ops: len(s.Ops), CorpusSize: len(initial)})
+		f.em.Emit(&obs.SeedAccepted{Origin: "initial", Ops: s.Size(), CorpusSize: len(initial)})
 	}
 	corpusLen := len(initial)
 	if f.opts.CorpusDir != "" {
@@ -426,7 +449,7 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 		f.mu.Unlock()
 		for _, s := range loaded {
 			f.mSeeds.Inc()
-			f.em.Emit(&obs.SeedAccepted{Origin: "corpus-dir", Ops: len(s.Ops), CorpusSize: corpusLen})
+			f.em.Emit(&obs.SeedAccepted{Origin: "corpus-dir", Ops: s.Size(), CorpusSize: corpusLen})
 		}
 	}
 	f.mu.Lock()
@@ -516,7 +539,7 @@ func (f *Fuzzer) done() bool {
 func (f *Fuzzer) seedCampaign(rng *rand.Rand, worker int) error {
 	ssp := f.tr.Start(f.traceLane(worker), obs.SpanSeedPick)
 	seed := f.pickSeed(rng)
-	ssp.SetAttr("ops", strconv.Itoa(len(seed.Ops)))
+	ssp.SetAttr("ops", strconv.Itoa(seed.Size()))
 	ssp.End()
 
 	// Execution tier: base executions collecting coverage and the shared
@@ -612,7 +635,7 @@ func (f *Fuzzer) seedCampaign(rng *rand.Rand, worker int) error {
 		f.mu.Lock()
 		corpusLen := len(f.corpus)
 		f.mu.Unlock()
-		f.em.Emit(&obs.SeedAccepted{Origin: "improving", Ops: len(seed.Ops), CorpusSize: corpusLen})
+		f.em.Emit(&obs.SeedAccepted{Origin: "improving", Ops: seed.Size(), CorpusSize: corpusLen})
 	}
 
 	// Seed tier: evolve the corpus when this seed stopped helping.
@@ -778,6 +801,16 @@ func (f *Fuzzer) runOne(seed *workload.Seed, strat sched.Strategy, worker int) (
 				Description: fmt.Sprintf("threads repeatedly hung acquiring locks (e.g. at %s)", s),
 			})
 		}
+	}
+	for _, msg := range res.CrashFailures {
+		// A mid-request crash image whose recovery replay failed is a
+		// durability bug in its own right, independent of any detected
+		// race (the request was parsed but its commit tore).
+		f.db.AddOther(core.OtherFinding{
+			Kind:        "crash-recovery",
+			Site:        site.Named("protocol crash point"),
+			Description: msg,
+		})
 	}
 	for _, r := range res.Redundant {
 		if r.Count >= f.opts.RedundantThreshold {

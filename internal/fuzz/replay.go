@@ -77,7 +77,7 @@ func ReplayArtifact(factory targets.Factory, b *artifact.Bundle, maxEntries int)
 		threads = 4
 	}
 	seed := workload.Decode(b.Seed, threads)
-	if len(seed.Ops) == 0 {
+	if seed.Empty() {
 		return nil, fmt.Errorf("replay: bundle seed contains no operations")
 	}
 	if maxEntries <= 0 {

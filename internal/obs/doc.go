@@ -1,8 +1,8 @@
 // Package obs is PMRace's campaign observability layer: a typed event
 // stream, a lock-cheap metrics registry, and pluggable sinks.
 //
-// A fuzzing campaign used to be a black box — Fuzz blocked until the budget
-// was exhausted and returned one terminal Result. The event stream makes the
+// A fuzzing campaign used to be a black box — the original blocking entry
+// point returned one terminal Result. The event stream makes the
 // campaign watchable while it runs: every layer of the stack (executor,
 // scheduler tiers, corpus, detection, post-failure validation) emits typed
 // events through one Emitter, which fans them out to attached sinks (a JSONL

@@ -39,6 +39,7 @@ import (
 	_ "github.com/pmrace-go/pmrace/internal/targets/memcached"
 	_ "github.com/pmrace-go/pmrace/internal/targets/pclht"
 	_ "github.com/pmrace-go/pmrace/internal/targets/pclhtgen"
+	_ "github.com/pmrace-go/pmrace/internal/targets/pmwal"
 )
 
 // Config sizes a Supervisor. The zero value is usable: 4 shared workers, a
@@ -213,6 +214,7 @@ func optionsFromSpec(spec api.CampaignSpec) (fuzz.Options, error) {
 		Seed:             spec.Seed,
 		KeySpace:         spec.KeySpace,
 		OpsPerSeed:       spec.OpsPerSeed,
+		Protocol:         spec.Protocol,
 		MaxCrashStates:   spec.MaxCrashStates,
 		InlineValidation: spec.InlineValidation,
 		EADR:             spec.EADR,

@@ -15,6 +15,7 @@ import (
 	"github.com/pmrace-go/pmrace/internal/targets/memcached"
 	"github.com/pmrace-go/pmrace/internal/targets/pclht"
 	"github.com/pmrace-go/pmrace/internal/targets/pclhtgen"
+	"github.com/pmrace-go/pmrace/internal/targets/pmwal"
 )
 
 // kv is the uniform adapter the conformance suite drives: every evaluated
@@ -70,6 +71,18 @@ func (a memcachedKV) get(t *rt.Thread, k string) (uint64, bool) {
 }
 func (a memcachedKV) del(t *rt.Thread, k string) bool { return a.KV.Delete(t, k) }
 
+type pmwalKV struct{ *pmwal.WAL }
+
+func (a pmwalKV) put(t *rt.Thread, k, v string) error { return a.Put(t, k, []byte(v)) }
+func (a pmwalKV) get(t *rt.Thread, k string) (uint64, bool) {
+	v, ok := a.WAL.Get(t, k)
+	if !ok {
+		return 0, false
+	}
+	return targets.Fingerprint(string(v)), true
+}
+func (a pmwalKV) del(t *rt.Thread, k string) bool { return a.WAL.Delete(t, k) }
+
 // systems lists a constructor per evaluated target; lruEvicts marks systems
 // that may legitimately drop old keys under memory pressure.
 var systems = []struct {
@@ -83,6 +96,7 @@ var systems = []struct {
 	{"cceh", func() kv { return ccehKV{cceh.New()} }, false},
 	{"fastfair", func() kv { return fastfairKV{fastfair.New()} }, false},
 	{"memcached", func() kv { return memcachedKV{memcached.New()} }, true},
+	{"pmwal", func() kv { return pmwalKV{pmwal.New()} }, false},
 }
 
 func newInstr(t *testing.T, tgt targets.Target) (*rt.Env, *rt.Thread) {

@@ -33,6 +33,7 @@ package memcached
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/pmrace-go/pmrace/internal/pmem"
@@ -189,6 +190,9 @@ func (kv *KV) dispatch(t *rt.Thread, op workload.Op) error {
 	case workload.OpDelete:
 		t.Branch()
 		kv.Delete(t, op.Key)
+	case workload.OpFlushAll:
+		t.Branch()
+		kv.FlushAll(t)
 	default:
 		t.Branch() // error-handling path
 		return fmt.Errorf("memcached: ERROR %q", op.Raw)
@@ -454,6 +458,30 @@ func (kv *KV) freeChunk(t *rt.Thread, cls int, item pmem.Addr, extra taint.Label
 	}
 	t.Persist(item+itClsid, 8)
 	kv.free[cls] = append(kv.free[cls], item)
+}
+
+// FlushAll drops every stored item — the protocol front-end's flush_all
+// (immediate form; the delay argument is not modelled). It walks the index
+// in address order so replays of the same seed produce identical PM access
+// sequences.
+func (kv *KV) FlushAll(t *rt.Thread) {
+	t.Branch()
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	items := make([]pmem.Addr, 0, len(kv.index))
+	for _, it := range kv.index {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, item := range items {
+		clsid, _ := t.Load64(item + itClsid)
+		cls := int(clsid&0xff) - 1
+		if cls < 0 || cls >= len(classSizes) {
+			continue
+		}
+		kv.unlinkLocked(t, cls, item)
+		kv.freeChunk(t, cls, item, taint.None)
+	}
 }
 
 // Get returns the value bytes of a key.

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"fmt"
+
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/workload"
+)
+
+// Backend is the store behind a protocol connection. The instrumented
+// memcached target (*memcached.KV) satisfies it directly.
+type Backend interface {
+	// Get looks a key up.
+	Get(t *rt.Thread, key string) ([]byte, bool)
+	// Delete removes a key, reporting whether it existed.
+	Delete(t *rt.Thread, key string) bool
+	// Exec runs one workload operation.
+	Exec(t *rt.Thread, op workload.Op) error
+}
+
+// Conn couples a Parser with a Backend and renders protocol responses: one
+// Conn per client connection, driven by whatever transport delivers the
+// bytes. All PM accesses run on the supplied instrumented thread.
+//
+// Response fidelity notes: the Target.Exec contract reports only
+// success/error, so add/replace answer STORED even when the store declined
+// them (real memcached: NOT_STORED), and incr/decr answer the stored value
+// via a follow-up read.
+type Conn struct {
+	p *Parser
+	b Backend
+	t *rt.Thread
+}
+
+// NewConn wraps a backend and an instrumented thread.
+func NewConn(b Backend, t *rt.Thread) *Conn {
+	return &Conn{p: NewParser(), b: b, t: t}
+}
+
+// Input feeds client bytes, executes every complete command, and returns
+// the accumulated response bytes plus whether the client asked to close.
+func (c *Conn) Input(data []byte) (out []byte, quit bool) {
+	c.p.Feed(data)
+	for {
+		cmd, ok := c.p.Next()
+		if !ok {
+			return out, false
+		}
+		if cmd.Quit {
+			return out, true
+		}
+		out = c.handle(out, cmd)
+	}
+}
+
+// handle executes one command and appends its response.
+func (c *Conn) handle(out []byte, cmd Command) []byte {
+	if cmd.Err != "" {
+		// Malformed frames still exercise the target's error path.
+		for _, op := range cmd.Ops() {
+			c.b.Exec(c.t, op)
+		}
+		return append(out, cmd.Err+"\r\n"...)
+	}
+	switch cmd.Verb {
+	case "get", "gets":
+		for _, k := range cmd.Keys {
+			if val, ok := c.b.Get(c.t, k); ok {
+				out = append(out, fmt.Sprintf("VALUE %s 0 %d\r\n", k, len(val))...)
+				out = append(out, val...)
+				out = append(out, "\r\n"...)
+			}
+		}
+		return append(out, "END\r\n"...)
+	case "delete":
+		ok := c.b.Delete(c.t, cmd.Key)
+		if cmd.NoReply {
+			return out
+		}
+		if ok {
+			return append(out, "DELETED\r\n"...)
+		}
+		return append(out, "NOT_FOUND\r\n"...)
+	case "incr", "decr":
+		err := c.b.Exec(c.t, cmd.Ops()[0])
+		if cmd.NoReply {
+			return out
+		}
+		if err != nil {
+			return append(out, fmt.Sprintf("SERVER_ERROR %v\r\n", err)...)
+		}
+		if val, ok := c.b.Get(c.t, cmd.Key); ok {
+			return append(out, fmt.Sprintf("%s\r\n", val)...)
+		}
+		return append(out, "NOT_FOUND\r\n"...)
+	case "flush_all":
+		err := c.b.Exec(c.t, cmd.Ops()[0])
+		if cmd.NoReply {
+			return out
+		}
+		if err != nil {
+			return append(out, fmt.Sprintf("SERVER_ERROR %v\r\n", err)...)
+		}
+		return append(out, "OK\r\n"...)
+	default: // storage commands
+		err := c.b.Exec(c.t, cmd.Ops()[0])
+		if cmd.NoReply {
+			return out
+		}
+		if err != nil {
+			return append(out, fmt.Sprintf("SERVER_ERROR %v\r\n", err)...)
+		}
+		return append(out, "STORED\r\n"...)
+	}
+}

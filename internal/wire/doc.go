@@ -1,0 +1,22 @@
+// Package wire is the memcached text-protocol front-end: it turns real
+// client bytes into workload operations against an instrumented PM target.
+//
+// Parser does incremental RFC-style framing (get/gets/set/add/replace/
+// append/prepend/delete/incr/decr/flush_all/quit, CRLF-terminated command
+// lines, counted data blocks, ERROR / CLIENT_ERROR / SERVER_ERROR replies)
+// over arbitrary byte chunks; malformed frames become error commands and the
+// parser resynchronizes at the next newline, so fuzz junk can never wedge or
+// panic a connection. Commands convert to workload.Op values via
+// Command.Ops, which means protocol-driven executions enter the target
+// through the exact same Exec path as synthetic operation vectors — bug
+// fingerprints (file:line of the racing PM accesses) are identical across
+// both modes by construction.
+//
+// Conn adds response rendering over a Backend (satisfied by the
+// instrumented memcached target without an adapter), and Server exposes the
+// whole stack on a net.Listener: each accepted connection gets its own
+// instrumented thread, so real memcached clients can drive the detector.
+//
+// The fuzzer does not use Server; internal/fuzz feeds recorded ProtoSeed
+// streams straight through Parser (see DESIGN.md §16).
+package wire

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"testing"
+)
+
+// FuzzParser asserts the protocol parser never panics, never loses framing
+// permanently, and never buffers unbounded input, whatever bytes arrive and
+// however they are chunked. Run with `go test -fuzz=FuzzParser ./internal/wire`;
+// the checked-in corpus under testdata/fuzz/FuzzParser replays as part of
+// the normal test suite.
+func FuzzParser(f *testing.F) {
+	f.Add([]byte("set key1 0 0 5\r\nhello\r\nget key1\r\n"), uint8(0))
+	f.Add([]byte("gets a b c\r\nincr a 1 noreply\r\nflush_all 0\r\nquit\r\n"), uint8(3))
+	f.Add([]byte("set k 0 0 99999999\r\njunk"), uint8(1))
+	f.Add([]byte("set k 0 0 6000\r\n"), uint8(7))
+	f.Add([]byte("\x00\x01bogus\r\nset\r\nget \xff\xfe\r\n"), uint8(2))
+	f.Add([]byte("set k 0 0 3\r\nabcd\r\nget k\r\n"), uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		p := NewParser()
+		// Deliver in chunks of 1..chunk+1 bytes so framing is exercised at
+		// every split point.
+		step := int(chunk)%16 + 1
+		cmds := 0
+		for off := 0; off < len(data); off += step {
+			end := off + step
+			if end > len(data) {
+				end = len(data)
+			}
+			p.Feed(data[off:end])
+			for {
+				cmd, ok := p.Next()
+				if !ok {
+					break
+				}
+				cmds++
+				if cmds > len(data)+1 {
+					t.Fatalf("more commands (%d) than input could frame (%d bytes)", cmds, len(data))
+				}
+				// Ops must never panic either, and malformed frames must
+				// carry an error reply.
+				ops := cmd.Ops()
+				if cmd.Err != "" && len(ops) != 1 {
+					t.Fatalf("error command %+v produced %d ops", cmd, len(ops))
+				}
+			}
+		}
+		// The parser may only hold one bounded line plus one bounded data
+		// block (or a swallow countdown, which holds no bytes at all).
+		if len(p.buf) > maxLine+maxData+4 {
+			t.Fatalf("parser buffered %d bytes", len(p.buf))
+		}
+	})
+}

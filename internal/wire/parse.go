@@ -1,0 +1,343 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/pmrace-go/pmrace/internal/workload"
+)
+
+// Protocol limits. Command lines and data blocks are bounded so a malformed
+// or hostile stream cannot make the parser buffer unbounded memory.
+const (
+	// maxLine caps a command line (memcached itself uses 2048).
+	maxLine = 2048
+	// maxData caps an accepted data block. The largest size class of the
+	// memcached target holds 1920 value bytes; anything bigger would be
+	// rejected there anyway.
+	maxData = 4096
+	// maxSwallow caps how much oversized data the parser will consume to
+	// stay in sync before giving up and resynchronizing at a newline.
+	maxSwallow = 64 << 10
+	// maxKey matches the workload model's key bound (real memcached: 250).
+	maxKey = 64
+)
+
+// RFC-style reply strings (memcached protocol.txt).
+const (
+	errGeneric   = "ERROR"
+	errBadFormat = "CLIENT_ERROR bad command line format"
+	errBadChunk  = "CLIENT_ERROR bad data chunk"
+	errLineLong  = "CLIENT_ERROR line too long"
+	errKeyLong   = "CLIENT_ERROR key too long"
+	errTooLarge  = "SERVER_ERROR object too large for cache"
+)
+
+// Command is one parsed client command.
+type Command struct {
+	// Verb is the canonical command name ("set", "get", ...), empty for
+	// malformed frames.
+	Verb string
+	// Keys holds every key of a get/gets; Key is the single key of the
+	// other commands.
+	Keys []string
+	Key  string
+	// Data is the payload of a storage command.
+	Data []byte
+	// Delta is the numeric argument of incr/decr.
+	Delta string
+	// NoReply suppresses the response.
+	NoReply bool
+	// Quit marks the connection-close command.
+	Quit bool
+	// Err, when non-empty, is the RFC error reply for a malformed frame
+	// (without trailing CRLF); the command carries no operation payload.
+	Err string
+	// Raw preserves the original command line for error reporting.
+	Raw string
+}
+
+// Ops converts the command into workload operations. Malformed frames map
+// to a single OpError so the target's error-handling path runs, exactly as
+// it does for unparseable lines of synthetic seeds.
+func (c *Command) Ops() []workload.Op {
+	if c.Err != "" {
+		return []workload.Op{{Kind: workload.OpError, Raw: c.Raw}}
+	}
+	switch c.Verb {
+	case "get", "gets":
+		kind := workload.OpGet
+		if c.Verb == "gets" {
+			kind = workload.OpBGet
+		}
+		ops := make([]workload.Op, 0, len(c.Keys))
+		for _, k := range c.Keys {
+			ops = append(ops, workload.Op{Kind: kind, Key: k})
+		}
+		return ops
+	case "set":
+		return []workload.Op{{Kind: workload.OpSet, Key: c.Key, Value: string(c.Data)}}
+	case "add":
+		return []workload.Op{{Kind: workload.OpAdd, Key: c.Key, Value: string(c.Data)}}
+	case "replace":
+		return []workload.Op{{Kind: workload.OpReplace, Key: c.Key, Value: string(c.Data)}}
+	case "append":
+		return []workload.Op{{Kind: workload.OpAppend, Key: c.Key, Value: string(c.Data)}}
+	case "prepend":
+		return []workload.Op{{Kind: workload.OpPrepend, Key: c.Key, Value: string(c.Data)}}
+	case "delete":
+		return []workload.Op{{Kind: workload.OpDelete, Key: c.Key}}
+	case "incr":
+		return []workload.Op{{Kind: workload.OpIncr, Key: c.Key, Value: c.Delta}}
+	case "decr":
+		return []workload.Op{{Kind: workload.OpDecr, Key: c.Key, Value: c.Delta}}
+	case "flush_all":
+		return []workload.Op{{Kind: workload.OpFlushAll}}
+	}
+	return nil
+}
+
+// Parser does incremental framing of the memcached text protocol. Feed it
+// byte chunks of any size; Next returns complete commands as they become
+// available. The parser never panics and never buffers more than the
+// protocol limits, whatever the input.
+type Parser struct {
+	buf []byte
+	// pend is a storage command whose counted data block is still arriving.
+	pend *Command
+	// pendData is the declared data length of pend.
+	pendData int
+	// swallow counts bytes of an oversized data block to discard before
+	// emitting the pending error command.
+	swallow int
+	// skipLine discards input through the next newline to resynchronize
+	// after an unrecoverable frame error.
+	skipLine bool
+}
+
+// NewParser returns an empty parser.
+func NewParser() *Parser { return &Parser{} }
+
+// Feed appends raw client bytes.
+func (p *Parser) Feed(b []byte) { p.buf = append(p.buf, b...) }
+
+// Next returns the next complete command, or ok=false when more bytes are
+// needed. Call it in a loop after each Feed.
+func (p *Parser) Next() (Command, bool) {
+	for {
+		// Discard an oversized data block we promised to swallow.
+		if p.swallow > 0 {
+			n := p.swallow
+			if n > len(p.buf) {
+				n = len(p.buf)
+			}
+			p.buf = p.buf[n:]
+			p.swallow -= n
+			if p.swallow > 0 {
+				return Command{}, false
+			}
+			cmd := *p.pend
+			p.pend = nil
+			return cmd, true
+		}
+		// Complete a pending data block.
+		if p.pend != nil {
+			need := p.pendData
+			if len(p.buf) < need+1 {
+				return Command{}, false
+			}
+			data := p.buf[:need]
+			rest := p.buf[need:]
+			switch {
+			case len(rest) >= 2 && rest[0] == '\r' && rest[1] == '\n':
+				p.buf = rest[2:]
+			case rest[0] == '\n':
+				p.buf = rest[1:]
+			case rest[0] == '\r' && len(rest) < 2:
+				return Command{}, false // CR seen, LF may still arrive
+			default:
+				// Data not followed by CRLF: bad chunk, resync at
+				// the next newline.
+				cmd := *p.pend
+				cmd.Err, cmd.Data = errBadChunk, nil
+				p.pend = nil
+				p.buf = rest
+				p.skipLine = true
+				return cmd, true
+			}
+			cmd := *p.pend
+			cmd.Data = append([]byte(nil), data...)
+			p.pend = nil
+			return cmd, true
+		}
+		// Frame a command line.
+		i := bytes.IndexByte(p.buf, '\n')
+		if i < 0 {
+			if len(p.buf) > maxLine {
+				p.buf = p.buf[:0]
+				p.skipLine = true
+				return Command{Err: errLineLong}, true
+			}
+			return Command{}, false
+		}
+		line := p.buf[:i]
+		p.buf = p.buf[i+1:]
+		if p.skipLine {
+			p.skipLine = false
+			continue
+		}
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) > maxLine {
+			return Command{Err: errLineLong, Raw: clip(line)}, true
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		cmd, ok := p.parseLine(string(line))
+		if !ok {
+			continue // storage header accepted; data block pending
+		}
+		return cmd, true
+	}
+}
+
+// parseLine interprets one command line. ok=false means the line was a
+// storage header and the parser now waits for its data block.
+func (p *Parser) parseLine(line string) (Command, bool) {
+	fields := strings.Fields(line)
+	verb := fields[0]
+	bad := func(msg string) (Command, bool) {
+		return Command{Verb: verb, Err: msg, Raw: clip([]byte(line))}, true
+	}
+	switch verb {
+	case "get", "gets":
+		if len(fields) < 2 {
+			return bad(errBadFormat)
+		}
+		cmd := Command{Verb: verb, Raw: line}
+		for _, k := range fields[1:] {
+			if !validKey(k) {
+				return bad(errKeyMsg(k))
+			}
+			cmd.Keys = append(cmd.Keys, k)
+		}
+		return cmd, true
+	case "set", "add", "replace", "append", "prepend":
+		if len(fields) < 5 || len(fields) > 6 {
+			return bad(errBadFormat)
+		}
+		cmd := Command{Verb: verb, Key: fields[1], Raw: line}
+		if len(fields) == 6 {
+			if fields[5] != "noreply" {
+				return bad(errBadFormat)
+			}
+			cmd.NoReply = true
+		}
+		if !validKey(fields[1]) {
+			return bad(errKeyMsg(fields[1]))
+		}
+		// flags and exptime are parsed for conformance but ignored by
+		// the PM store model.
+		if _, err := strconv.ParseUint(fields[2], 10, 32); err != nil {
+			return bad(errBadFormat)
+		}
+		if _, err := strconv.ParseInt(fields[3], 10, 64); err != nil {
+			return bad(errBadFormat)
+		}
+		n, err := strconv.ParseUint(fields[4], 10, 32)
+		switch {
+		case err != nil:
+			return bad(errBadFormat)
+		case n > maxSwallow:
+			// Too big to even swallow: refuse the frame outright. Any
+			// data the client sends anyway parses as junk lines and is
+			// answered with ERROR, which keeps the parser safe without
+			// buffering the declared length.
+			return bad(errTooLarge)
+		case n > maxData:
+			// Consume the data block to stay framed, then report.
+			errCmd := cmd
+			errCmd.Err = errTooLarge
+			p.pend = &errCmd
+			p.swallow = int(n) + 2
+			return Command{}, false
+		}
+		p.pend = &cmd
+		p.pendData = int(n)
+		return Command{}, false
+	case "delete":
+		if len(fields) < 2 || len(fields) > 3 || (len(fields) == 3 && fields[2] != "noreply") {
+			return bad(errBadFormat)
+		}
+		if !validKey(fields[1]) {
+			return bad(errKeyMsg(fields[1]))
+		}
+		return Command{Verb: verb, Key: fields[1], NoReply: len(fields) == 3, Raw: line}, true
+	case "incr", "decr":
+		if len(fields) < 3 || len(fields) > 4 || (len(fields) == 4 && fields[3] != "noreply") {
+			return bad(errBadFormat)
+		}
+		if !validKey(fields[1]) {
+			return bad(errKeyMsg(fields[1]))
+		}
+		if _, err := strconv.ParseUint(fields[2], 10, 64); err != nil {
+			return bad("CLIENT_ERROR invalid numeric delta argument")
+		}
+		return Command{Verb: verb, Key: fields[1], Delta: fields[2], NoReply: len(fields) == 4, Raw: line}, true
+	case "flush_all":
+		// Optional delay argument and noreply.
+		cmd := Command{Verb: verb, Raw: line}
+		rest := fields[1:]
+		if len(rest) > 0 && rest[len(rest)-1] == "noreply" {
+			cmd.NoReply = true
+			rest = rest[:len(rest)-1]
+		}
+		if len(rest) > 1 {
+			return bad(errBadFormat)
+		}
+		if len(rest) == 1 {
+			if _, err := strconv.ParseUint(rest[0], 10, 32); err != nil {
+				return bad(errBadFormat)
+			}
+		}
+		return cmd, true
+	case "quit":
+		return Command{Verb: verb, Quit: true, Raw: line}, true
+	default:
+		return Command{Err: errGeneric, Raw: clip([]byte(line))}, true
+	}
+}
+
+func errKeyMsg(k string) string {
+	if len(k) > maxKey {
+		return errKeyLong
+	}
+	return errBadFormat
+}
+
+// validKey enforces the workload model's key constraints: printable ASCII,
+// no spaces, at most maxKey bytes.
+func validKey(k string) bool {
+	if len(k) == 0 || len(k) > maxKey {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		if k[i] <= ' ' || k[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// clip bounds raw-line echoes in error reports.
+func clip(line []byte) string {
+	const n = 80
+	if len(line) <= n {
+		return string(line)
+	}
+	return fmt.Sprintf("%s... (%d bytes)", line[:n], len(line))
+}

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"errors"
+	"net"
+
+	"github.com/pmrace-go/pmrace/internal/rt"
+)
+
+// Server exposes an instrumented PM store over a real socket: every
+// accepted connection gets its own instrumented thread and a Conn, so
+// unmodified memcached clients can drive the detector. The fuzzer itself
+// bypasses the socket layer and feeds recorded streams through Parser, but
+// the server is the proof that the front-end speaks the actual protocol.
+type Server struct {
+	env *rt.Env
+	b   Backend
+}
+
+// NewServer serves the backend with threads spawned from env.
+func NewServer(env *rt.Env, b Backend) *Server { return &Server{env: env, b: b} }
+
+// Serve accepts connections until the listener closes. Each connection is
+// handled on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(nc)
+	}
+}
+
+// ServeConn speaks the protocol on one connection and closes it when the
+// client quits or the transport fails.
+func (s *Server) ServeConn(nc net.Conn) {
+	defer nc.Close()
+	th := s.env.Spawn()
+	defer th.Exit()
+	// A scheduler-injected hang (rt.HangError) must kill only this
+	// connection, never the accept loop.
+	defer func() { recover() }()
+	conn := NewConn(s.b, th)
+	buf := make([]byte, 4096)
+	for {
+		n, err := nc.Read(buf)
+		if n > 0 {
+			out, quit := conn.Input(buf[:n])
+			if len(out) > 0 {
+				if _, werr := nc.Write(out); werr != nil {
+					return
+				}
+			}
+			if quit {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pmrace-go/pmrace/internal/pmem"
+	"github.com/pmrace-go/pmrace/internal/rt"
+	"github.com/pmrace-go/pmrace/internal/targets/memcached"
+	"github.com/pmrace-go/pmrace/internal/workload"
+)
+
+// drain feeds one chunk and collects every completed command.
+func drain(t *testing.T, p *Parser, chunk string) []Command {
+	t.Helper()
+	p.Feed([]byte(chunk))
+	var out []Command
+	for {
+		cmd, ok := p.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, cmd)
+	}
+}
+
+func TestParserBasicCommands(t *testing.T) {
+	p := NewParser()
+	cmds := drain(t, p, "set key1 0 0 5\r\nhello\r\nget key1 key2\r\nincr key1 3\r\ndelete key1 noreply\r\nflush_all\r\nquit\r\n")
+	if len(cmds) != 6 {
+		t.Fatalf("got %d commands: %+v", len(cmds), cmds)
+	}
+	set := cmds[0]
+	if set.Verb != "set" || set.Key != "key1" || string(set.Data) != "hello" || set.Err != "" {
+		t.Fatalf("set = %+v", set)
+	}
+	if got := set.Ops(); len(got) != 1 || got[0].Kind != workload.OpSet || got[0].Value != "hello" {
+		t.Fatalf("set ops = %+v", got)
+	}
+	if g := cmds[1]; g.Verb != "get" || len(g.Keys) != 2 || len(g.Ops()) != 2 {
+		t.Fatalf("get = %+v", g)
+	}
+	if in := cmds[2]; in.Verb != "incr" || in.Delta != "3" {
+		t.Fatalf("incr = %+v", in)
+	}
+	if d := cmds[3]; d.Verb != "delete" || !d.NoReply {
+		t.Fatalf("delete = %+v", d)
+	}
+	if f := cmds[4]; f.Verb != "flush_all" || f.Ops()[0].Kind != workload.OpFlushAll {
+		t.Fatalf("flush_all = %+v", f)
+	}
+	if !cmds[5].Quit {
+		t.Fatalf("quit = %+v", cmds[5])
+	}
+}
+
+func TestParserIncrementalFraming(t *testing.T) {
+	p := NewParser()
+	// Deliver one byte at a time: framing must not depend on chunk size.
+	input := "set abc 0 0 4\r\nwxyz\r\ngets abc\r\n"
+	var cmds []Command
+	for i := 0; i < len(input); i++ {
+		p.Feed([]byte{input[i]})
+		for {
+			cmd, ok := p.Next()
+			if !ok {
+				break
+			}
+			cmds = append(cmds, cmd)
+		}
+	}
+	if len(cmds) != 2 || string(cmds[0].Data) != "wxyz" || cmds[1].Verb != "gets" {
+		t.Fatalf("cmds = %+v", cmds)
+	}
+	if cmds[1].Ops()[0].Kind != workload.OpBGet {
+		t.Fatal("gets should map to OpBGet")
+	}
+}
+
+func TestParserMalformedFrames(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr string
+	}{
+		{"bogus nonsense\r\n", errGeneric},
+		{"set\r\n", errBadFormat},
+		{"set k 0 0 nine\r\n", errBadFormat},
+		{"set k x 0 3\r\nabc\r\n", errBadFormat},
+		{"get\r\n", errBadFormat},
+		{"get \x01\x02\r\n", errBadFormat},
+		{"incr k notanum\r\n", "CLIENT_ERROR invalid numeric delta argument"},
+		{"delete k extra args\r\n", errBadFormat},
+		{"set " + strings.Repeat("k", 100) + " 0 0 3\r\nabc\r\n", errKeyLong},
+		{"set k 0 0 3\r\nabcdef\r\n", errBadChunk},
+		{"set k 0 0 99999999\r\n", errTooLarge},
+		{strings.Repeat("g", maxLine+10) + "\r\n", errLineLong},
+	}
+	for _, tc := range cases {
+		p := NewParser()
+		cmds := drain(t, p, tc.in)
+		if len(cmds) == 0 {
+			t.Errorf("%.40q: no command", tc.in)
+			continue
+		}
+		if cmds[0].Err != tc.wantErr {
+			t.Errorf("%.40q: err %q, want %q", tc.in, cmds[0].Err, tc.wantErr)
+		}
+		ops := cmds[0].Ops()
+		if len(ops) != 1 || ops[0].Kind != workload.OpError {
+			t.Errorf("%.40q: malformed frame should map to OpError, got %+v", tc.in, ops)
+		}
+		// The parser must resynchronize: a well-formed command after the
+		// malformed frame still parses.
+		rest := drain(t, p, "get recovered\r\n")
+		if len(rest) != 1 || rest[0].Verb != "get" || rest[0].Err != "" {
+			t.Errorf("%.40q: parser did not resync: %+v", tc.in, rest)
+		}
+	}
+}
+
+func TestParserSwallowsOversizedData(t *testing.T) {
+	p := NewParser()
+	// 5000 bytes: over maxData, under maxSwallow — the parser consumes the
+	// chunk to stay framed and reports the RFC error.
+	data := strings.Repeat("z", 5000)
+	cmds := drain(t, p, "set big 0 0 5000\r\n"+data+"\r\nget after\r\n")
+	if len(cmds) != 2 {
+		t.Fatalf("got %d commands", len(cmds))
+	}
+	if cmds[0].Err != errTooLarge {
+		t.Fatalf("err = %q", cmds[0].Err)
+	}
+	if cmds[1].Verb != "get" || cmds[1].Keys[0] != "after" {
+		t.Fatalf("lost framing after swallow: %+v", cmds[1])
+	}
+}
+
+func TestParserNoreplyAndBareLF(t *testing.T) {
+	p := NewParser()
+	cmds := drain(t, p, "set k 0 0 3 noreply\nabc\nget k\n")
+	if len(cmds) != 2 || !cmds[0].NoReply || string(cmds[0].Data) != "abc" {
+		t.Fatalf("cmds = %+v", cmds)
+	}
+}
+
+// newKV builds an instrumented memcached instance for conn/server tests.
+func newKV(t *testing.T) (*rt.Env, *rt.Thread, *memcached.KV) {
+	t.Helper()
+	kv := memcached.New()
+	env := rt.NewEnv(pmem.New(kv.PoolSize()), rt.Config{})
+	th := env.Spawn()
+	if err := kv.Setup(th); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	return env, th, kv
+}
+
+func TestConnAgainstMemcached(t *testing.T) {
+	env, th, kv := newKV(t)
+	defer th.Exit()
+	_ = env
+	conn := NewConn(kv, th)
+	out, quit := conn.Input([]byte("set key1 0 0 5\r\nhello\r\nget key1\r\nget missing\r\ndelete key1\r\ndelete key1\r\nbogus\r\nquit\r\n"))
+	if !quit {
+		t.Fatal("quit not honoured")
+	}
+	want := "STORED\r\nVALUE key1 0 5\r\nhello\r\nEND\r\nEND\r\nDELETED\r\nNOT_FOUND\r\nERROR\r\n"
+	if string(out) != want {
+		t.Fatalf("responses:\n got %q\nwant %q", out, want)
+	}
+}
+
+func TestConnFlushAll(t *testing.T) {
+	_, th, kv := newKV(t)
+	defer th.Exit()
+	conn := NewConn(kv, th)
+	out, _ := conn.Input([]byte("set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\nflush_all\r\nget a b\r\n"))
+	if !bytes.HasSuffix(out, []byte("OK\r\nEND\r\n")) {
+		t.Fatalf("flush_all did not wipe the store: %q", out)
+	}
+	if kv.Live() != 0 {
+		t.Fatalf("live after flush_all = %d", kv.Live())
+	}
+}
+
+func TestServerOverTCP(t *testing.T) {
+	env, setupTh, kv := newKV(t)
+	setupTh.Exit()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	srv := NewServer(env, kv)
+	go srv.Serve(l)
+
+	// A plain TCP client speaking memcached text protocol.
+	nc, err := net.DialTimeout("tcp", l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := nc.Write([]byte("set tcp1 0 0 4\r\ndata\r\nget tcp1\r\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	want := "STORED\r\nVALUE tcp1 0 4\r\ndata\r\nEND\r\n"
+	got := make([]byte, 0, len(want))
+	buf := make([]byte, 256)
+	for len(got) < len(want) {
+		n, err := nc.Read(buf)
+		if err != nil {
+			t.Fatalf("read after %q: %v", got, err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if string(got) != want {
+		t.Fatalf("response = %q, want %q", got, want)
+	}
+	// quit closes the connection server-side.
+	if _, err := nc.Write([]byte("quit\r\n")); err != nil {
+		t.Fatalf("write quit: %v", err)
+	}
+	for {
+		if _, err := nc.Read(buf); err != nil {
+			break
+		}
+	}
+}

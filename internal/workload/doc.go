@@ -1,8 +1,18 @@
-// Package workload models the structured inputs PMRace feeds to PM systems:
-// sequences of key-value operations distributed across worker threads. PM
-// applications are interactive in-memory systems (key-value stores, indexes),
-// so inputs are operation sequences rather than raw bytes (paper §4.5); the
-// package also provides a memcached-style text encoding so the AFL++-style
+// Package workload models the inputs PMRace feeds to PM systems.
+//
+// The primary form is the structured operation vector: sequences of
+// key-value operations distributed across worker threads. PM applications
+// are interactive in-memory systems (key-value stores, indexes), so inputs
+// are operation sequences rather than raw bytes (paper §4.5); the package
+// also provides a memcached-style text encoding so the AFL++-style
 // byte-level baseline mutator has something to mutate, and a parser whose
 // rejects become the "Error" command class of the paper's Table 4.
+//
+// The second form is the protocol byte-stream seed (ProtoSeed): recorded
+// memcached text-protocol traffic, one raw byte stream per client
+// connection, played through the internal/wire front-end during execution.
+// ProtoGen is its load generator — zipfian key mixes, pipelined bursts,
+// connection churn, malformed frames and mid-request crash points. Both
+// seed forms share one text encoding (Seed.Encode / Decode dispatches on a
+// "#proto" header), so corpus files and artifact bundles replay either kind.
 package workload

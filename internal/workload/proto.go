@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ProtoSeed is a protocol-traffic fuzzer input: instead of an abstract
+// operation vector, the seed is a set of recorded client byte streams — one
+// per connection — fed through the memcached text-protocol front-end
+// (internal/wire) during execution. Streams may contain pipelined requests,
+// malformed frames and binary junk; the parser is expected to survive all of
+// it. Crash points mark commands where the executor captures an adversarial
+// crash image between parse and PM commit and later replays it through the
+// target's recovery code.
+type ProtoSeed struct {
+	// Streams holds the raw client bytes of each connection.
+	Streams [][]byte
+	// Crash lists mid-request crash points.
+	Crash []CrashPoint
+}
+
+// CrashPoint names one command in one stream. The executor snapshots the PM
+// pool after the command has been parsed but before its first PM store — the
+// "between parse and commit" window where a real server would lose an
+// acknowledged-in-flight request.
+type CrashPoint struct {
+	// Stream indexes ProtoSeed.Streams.
+	Stream int
+	// Cmd is the 0-based command ordinal within the stream.
+	Cmd int
+}
+
+// protoHeader starts the text encoding of a protocol seed. Decode dispatches
+// on it, so protocol seeds round-trip through the same corpus files and
+// artifact bundles as operation-vector seeds.
+const protoHeader = "#proto v1"
+
+// NewProtoSeed wraps raw connection streams in a seed.
+func NewProtoSeed(threads int, streams ...[]byte) *Seed {
+	return &Seed{Threads: threads, Proto: &ProtoSeed{Streams: streams}}
+}
+
+// clone deep-copies the proto payload.
+func (p *ProtoSeed) clone() *ProtoSeed {
+	c := &ProtoSeed{
+		Streams: make([][]byte, len(p.Streams)),
+		Crash:   append([]CrashPoint(nil), p.Crash...),
+	}
+	for i, s := range p.Streams {
+		c.Streams[i] = append([]byte(nil), s...)
+	}
+	return c
+}
+
+// Commands counts the newline-terminated frames across all streams — a cheap
+// upper bound on the number of protocol commands, used for reporting.
+func (p *ProtoSeed) Commands() int {
+	n := 0
+	for _, s := range p.Streams {
+		for _, b := range s {
+			if b == '\n' {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// encodeProto renders the seed in the #proto text format: a header line, one
+// quoted line per stream, and one line per crash point. strconv.Quote makes
+// arbitrary bytes (CRLF framing, fuzz junk) safe for line-oriented corpus
+// files and JSON-embedded artifact seeds.
+func (s *Seed) encodeProto() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s threads=%d\n", protoHeader, s.Threads)
+	for _, stream := range s.Proto.Streams {
+		fmt.Fprintf(&b, "#stream %s\n", strconv.Quote(string(stream)))
+	}
+	for _, cp := range s.Proto.Crash {
+		fmt.Fprintf(&b, "#crash %d %d\n", cp.Stream, cp.Cmd)
+	}
+	return b.String()
+}
+
+// decodeProto parses the #proto text format. Unparseable stream or crash
+// lines are dropped rather than failing the whole seed, mirroring Decode's
+// tolerance for corrupt corpus entries.
+func decodeProto(text string, threads int) *Seed {
+	s := &Seed{Threads: threads, Proto: &ProtoSeed{}}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, protoHeader):
+			if i := strings.Index(line, "threads="); i >= 0 {
+				if n, err := strconv.Atoi(strings.TrimSpace(line[i+len("threads="):])); err == nil && n > 0 && n <= 64 {
+					s.Threads = n
+				}
+			}
+		case strings.HasPrefix(line, "#stream "):
+			q, err := strconv.Unquote(strings.TrimSpace(line[len("#stream "):]))
+			if err != nil {
+				continue
+			}
+			s.Proto.Streams = append(s.Proto.Streams, []byte(q))
+		case strings.HasPrefix(line, "#crash "):
+			fields := strings.Fields(line[len("#crash "):])
+			if len(fields) != 2 {
+				continue
+			}
+			stream, err1 := strconv.Atoi(fields[0])
+			cmd, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil || stream < 0 || cmd < 0 {
+				continue
+			}
+			s.Proto.Crash = append(s.Proto.Crash, CrashPoint{Stream: stream, Cmd: cmd})
+		}
+	}
+	// Crash points referencing dropped streams are meaningless; prune them.
+	kept := s.Proto.Crash[:0]
+	for _, cp := range s.Proto.Crash {
+		if cp.Stream < len(s.Proto.Streams) {
+			kept = append(kept, cp)
+		}
+	}
+	s.Proto.Crash = kept
+	return s
+}

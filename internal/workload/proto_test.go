@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFlushAllOp(t *testing.T) {
+	op := ParseOp("flush_all")
+	if op.Kind != OpFlushAll {
+		t.Fatalf("ParseOp(flush_all) = %v", op.Kind)
+	}
+	if op.String() != "flush_all" {
+		t.Fatalf("String() = %q", op.String())
+	}
+	if !OpFlushAll.Mutates() {
+		t.Fatal("flush_all should mutate")
+	}
+	if OpFlushAll.Class() != "delete" {
+		t.Fatalf("Class() = %q", OpFlushAll.Class())
+	}
+	if got := ParseOp("flush_all 0 noreply"); got.Kind != OpError {
+		t.Fatalf("flush_all with args should be OpError, got %v", got.Kind)
+	}
+	// Round-trip through the text encoding.
+	s := &Seed{Ops: []Op{{Kind: OpFlushAll}}, Threads: 2}
+	back := Decode(s.Encode(), 2)
+	if len(back.Ops) != 1 || back.Ops[0].Kind != OpFlushAll {
+		t.Fatalf("round-trip = %+v", back.Ops)
+	}
+}
+
+func TestProtoSeedRoundTrip(t *testing.T) {
+	s := &Seed{
+		Threads: 3,
+		Proto: &ProtoSeed{
+			Streams: [][]byte{
+				[]byte("set key000 0 0 3\r\nabc\r\nget key000\r\n"),
+				{0x00, 0xff, '\r', '\n', 'g', 'e', 't'}, // binary junk survives
+				[]byte("quit\r\n"),
+			},
+			Crash: []CrashPoint{{Stream: 0, Cmd: 1}, {Stream: 2, Cmd: 0}},
+		},
+	}
+	text := s.Encode()
+	if !strings.HasPrefix(text, "#proto v1") {
+		t.Fatalf("encoding missing header: %q", text)
+	}
+	back := Decode(text, 1)
+	if back.Proto == nil {
+		t.Fatal("decoded seed lost proto payload")
+	}
+	if back.Threads != 3 {
+		t.Fatalf("threads = %d, want 3 (from header)", back.Threads)
+	}
+	if len(back.Proto.Streams) != 3 {
+		t.Fatalf("streams = %d", len(back.Proto.Streams))
+	}
+	for i := range s.Proto.Streams {
+		if !bytes.Equal(back.Proto.Streams[i], s.Proto.Streams[i]) {
+			t.Fatalf("stream %d mismatch: %q vs %q", i, back.Proto.Streams[i], s.Proto.Streams[i])
+		}
+	}
+	if len(back.Proto.Crash) != 2 || back.Proto.Crash[0] != (CrashPoint{0, 1}) {
+		t.Fatalf("crash points = %+v", back.Proto.Crash)
+	}
+	// Re-encoding is stable.
+	if again := back.Encode(); again != text {
+		t.Fatalf("re-encode drifted:\n%q\n%q", text, again)
+	}
+}
+
+func TestProtoDecodeTolerance(t *testing.T) {
+	text := "#proto v1 threads=2\n" +
+		"#stream \"get key000\\r\\n\"\n" +
+		"#stream not-a-quoted-string\n" + // dropped
+		"#crash 0 1\n" +
+		"#crash 9 0\n" + // references a missing stream: pruned
+		"#crash nope\n" // dropped
+	s := Decode(text, 4)
+	if s.Proto == nil || len(s.Proto.Streams) != 1 {
+		t.Fatalf("streams = %+v", s.Proto)
+	}
+	if len(s.Proto.Crash) != 1 || s.Proto.Crash[0] != (CrashPoint{0, 1}) {
+		t.Fatalf("crash = %+v", s.Proto.Crash)
+	}
+}
+
+func TestProtoSeedCloneAndHelpers(t *testing.T) {
+	s := NewProtoSeed(2, []byte("get a\r\nget b\r\n"))
+	s.Proto.Crash = []CrashPoint{{0, 0}}
+	c := s.Clone()
+	c.Proto.Streams[0][0] = 'X'
+	c.Proto.Crash[0].Cmd = 9
+	if s.Proto.Streams[0][0] != 'g' || s.Proto.Crash[0].Cmd != 0 {
+		t.Fatal("Clone did not deep-copy proto payload")
+	}
+	if s.Empty() {
+		t.Fatal("seed with streams should not be Empty")
+	}
+	if (&Seed{Proto: &ProtoSeed{}}).Empty() != true {
+		t.Fatal("proto seed without streams should be Empty")
+	}
+	if s.Size() != 2 {
+		t.Fatalf("Size = %d, want 2 framed commands", s.Size())
+	}
+	if (&Seed{Ops: []Op{{Kind: OpGet, Key: "k"}}}).Empty() {
+		t.Fatal("op seed should not be Empty")
+	}
+}
+
+func TestProtoGen(t *testing.T) {
+	g := NewProtoGen(42, 16, 4)
+	seed := g.MixSeed(8, 12)
+	if len(seed.Proto.Streams) != 8 {
+		t.Fatalf("streams = %d", len(seed.Proto.Streams))
+	}
+	for i, st := range seed.Proto.Streams {
+		if len(st) == 0 {
+			t.Fatalf("stream %d empty", i)
+		}
+	}
+	for _, cp := range seed.Proto.Crash {
+		if cp.Stream < 0 || cp.Stream >= 8 || cp.Cmd < 0 || cp.Cmd >= 12 {
+			t.Fatalf("crash point out of range: %+v", cp)
+		}
+	}
+	// Deterministic for a fixed RNG seed.
+	again := NewProtoGen(42, 16, 4).MixSeed(8, 12)
+	if seed.Encode() != again.Encode() {
+		t.Fatal("MixSeed not deterministic for fixed seed")
+	}
+	// Round-trips through the text encoding.
+	back := Decode(seed.Encode(), 4)
+	if back.Proto == nil || len(back.Proto.Streams) != 8 {
+		t.Fatal("generated seed does not round-trip")
+	}
+	if churn := g.ChurnSeed(10); len(churn.Proto.Streams) != 10 {
+		t.Fatalf("churn streams = %d", len(churn.Proto.Streams))
+	}
+	if hot := g.HotSeed(4, 10); len(hot.Proto.Crash) == 0 {
+		t.Fatal("hot seed should carry a crash point")
+	}
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ProtoGen generates memcached text-protocol byte streams for protocol-mode
+// fuzzing: zipfian key mixes (a few hot keys absorb most traffic, maximizing
+// shared PM accesses), pipelined request bursts, connection churn, malformed
+// frames, and mid-request crash points. It is the protocol-mode counterpart
+// of Generator.
+type ProtoGen struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	KeySpace int
+	Threads  int
+}
+
+// NewProtoGen creates a protocol generator with the given RNG seed.
+func NewProtoGen(seed int64, keySpace, threads int) *ProtoGen {
+	if keySpace <= 0 {
+		keySpace = 16
+	}
+	if threads <= 0 {
+		threads = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ProtoGen{
+		rng:      rng,
+		zipf:     rand.NewZipf(rng, 1.3, 1, uint64(keySpace-1)),
+		KeySpace: keySpace,
+		Threads:  threads,
+	}
+}
+
+// Key draws a zipfian-distributed key: rank 0 (key000) is by far the
+// hottest, matching skewed cache traffic and concentrating racing
+// operations on shared items.
+func (g *ProtoGen) Key() string { return fmt.Sprintf("key%03d", g.zipf.Uint64()) }
+
+// value returns a payload; about one in six is a multi-line value (>64
+// bytes) so log-structured targets exercise multi-cache-line appends.
+func (g *ProtoGen) value() string {
+	if g.rng.Intn(6) == 0 {
+		n := 80 + g.rng.Intn(120)
+		return strings.Repeat("x", n-9) + fmt.Sprintf("%09d", g.rng.Intn(1_000_000_000))
+	}
+	return fmt.Sprintf("val%06d", g.rng.Intn(1_000_000))
+}
+
+// Command appends one well-formed protocol command to b and returns the
+// extended stream.
+func (g *ProtoGen) Command(b []byte) []byte {
+	noreply := ""
+	if g.rng.Intn(5) == 0 {
+		noreply = " noreply"
+	}
+	switch g.rng.Intn(16) {
+	case 0, 1, 2:
+		b = append(b, fmt.Sprintf("get %s\r\n", g.Key())...)
+	case 3:
+		// Multi-key get exercises the batched lookup path.
+		b = append(b, fmt.Sprintf("gets %s %s\r\n", g.Key(), g.Key())...)
+	case 4, 5, 6, 7:
+		v := g.value()
+		b = append(b, fmt.Sprintf("set %s 0 0 %d%s\r\n%s\r\n", g.Key(), len(v), noreply, v)...)
+	case 8:
+		v := g.value()
+		b = append(b, fmt.Sprintf("add %s 0 0 %d%s\r\n%s\r\n", g.Key(), len(v), noreply, v)...)
+	case 9:
+		v := g.value()
+		b = append(b, fmt.Sprintf("replace %s 0 0 %d%s\r\n%s\r\n", g.Key(), len(v), noreply, v)...)
+	case 10:
+		b = append(b, fmt.Sprintf("append %s 0 0 1%s\r\nx\r\n", g.Key(), noreply)...)
+	case 11:
+		b = append(b, fmt.Sprintf("prepend %s 0 0 1%s\r\ny\r\n", g.Key(), noreply)...)
+	case 12:
+		b = append(b, fmt.Sprintf("incr %s %d%s\r\n", g.Key(), 1+g.rng.Intn(9), noreply)...)
+	case 13:
+		b = append(b, fmt.Sprintf("decr %s %d%s\r\n", g.Key(), 1+g.rng.Intn(9), noreply)...)
+	case 14:
+		b = append(b, fmt.Sprintf("delete %s%s\r\n", g.Key(), noreply)...)
+	default:
+		if g.rng.Intn(8) == 0 {
+			// Rare: flush_all wipes the store and, on log targets,
+			// drives compaction concurrently with appends.
+			b = append(b, "flush_all\r\n"...)
+		} else {
+			b = append(b, fmt.Sprintf("get %s\r\n", g.Key())...)
+		}
+	}
+	return b
+}
+
+// Malformed appends one malformed frame: the parser must answer an RFC-style
+// error and resynchronize without panicking or wedging the connection.
+func (g *ProtoGen) Malformed(b []byte) []byte {
+	switch g.rng.Intn(8) {
+	case 0:
+		b = append(b, "bogus command\r\n"...)
+	case 1:
+		// Declared length longer than the data chunk.
+		b = append(b, fmt.Sprintf("set %s 0 0 64\r\nshort\r\n", g.Key())...)
+	case 2:
+		// Non-numeric byte count.
+		b = append(b, fmt.Sprintf("set %s 0 0 nine\r\n", g.Key())...)
+	case 3:
+		// Missing arguments.
+		b = append(b, "set\r\n"...)
+	case 4:
+		// Control bytes where a key belongs.
+		b = append(b, "get \x01\x02\x03\r\n"...)
+	case 5:
+		// Bare LF instead of CRLF after the data block.
+		b = append(b, fmt.Sprintf("set %s 0 0 3\r\nabc\n", g.Key())...)
+	case 6:
+		// Absurd declared length; the parser must refuse, not allocate.
+		b = append(b, fmt.Sprintf("set %s 0 0 99999999\r\n", g.Key())...)
+	default:
+		// Binary junk mid-stream.
+		junk := make([]byte, 4+g.rng.Intn(12))
+		g.rng.Read(junk)
+		b = append(b, junk...)
+		b = append(b, '\r', '\n')
+	}
+	return b
+}
+
+// Stream builds one connection's byte stream of n commands with the given
+// malformed-frame ratio (per mille).
+func (g *ProtoGen) Stream(n, malformedPerMille int) []byte {
+	var b []byte
+	for i := 0; i < n; i++ {
+		if g.rng.Intn(1000) < malformedPerMille {
+			b = g.Malformed(b)
+		} else {
+			b = g.Command(b)
+		}
+	}
+	if g.rng.Intn(3) == 0 {
+		b = append(b, "quit\r\n"...)
+	}
+	return b
+}
+
+// MixSeed is the default protocol seed: streams connections of pipelined
+// zipfian traffic (~4% malformed frames) plus up to two mid-request crash
+// points.
+func (g *ProtoGen) MixSeed(streams, cmdsPerStream int) *Seed {
+	s := &Seed{Threads: g.Threads, Proto: &ProtoSeed{}}
+	for i := 0; i < streams; i++ {
+		s.Proto.Streams = append(s.Proto.Streams, g.Stream(cmdsPerStream, 40))
+	}
+	for i := g.rng.Intn(3); i > 0; i-- {
+		s.Proto.Crash = append(s.Proto.Crash, CrashPoint{
+			Stream: g.rng.Intn(streams),
+			Cmd:    g.rng.Intn(cmdsPerStream),
+		})
+	}
+	return s
+}
+
+// ChurnSeed models connection churn: many short-lived connections (1–4
+// commands, often ending in quit) multiplexed over few driver threads, so
+// each thread serves a run of distinct connections back to back.
+func (g *ProtoGen) ChurnSeed(conns int) *Seed {
+	s := &Seed{Threads: g.Threads, Proto: &ProtoSeed{}}
+	for i := 0; i < conns; i++ {
+		b := g.Stream(1+g.rng.Intn(4), 20)
+		if g.rng.Intn(2) == 0 {
+			b = append(b, "quit\r\n"...)
+		}
+		s.Proto.Streams = append(s.Proto.Streams, b)
+	}
+	return s
+}
+
+// HotSeed concentrates long pipelined update bursts on the hottest keys —
+// the protocol analogue of Generator.HotKeySeed, arming read-after-write
+// sync points on shared items.
+func (g *ProtoGen) HotSeed(streams, cmdsPerStream int) *Seed {
+	s := &Seed{Threads: g.Threads, Proto: &ProtoSeed{}}
+	for i := 0; i < streams; i++ {
+		var b []byte
+		for j := 0; j < cmdsPerStream; j++ {
+			key := fmt.Sprintf("key%03d", g.rng.Intn(3))
+			switch g.rng.Intn(8) {
+			case 0, 1, 2:
+				v := g.value()
+				b = append(b, fmt.Sprintf("set %s 0 0 %d\r\n%s\r\n", key, len(v), v)...)
+			case 3, 4:
+				b = append(b, fmt.Sprintf("append %s 0 0 1\r\nx\r\n", key)...)
+			case 5:
+				b = append(b, fmt.Sprintf("prepend %s 0 0 1\r\ny\r\n", key)...)
+			case 6:
+				v := g.value()
+				b = append(b, fmt.Sprintf("replace %s 0 0 %d\r\n%s\r\n", key, len(v), v)...)
+			default:
+				b = append(b, fmt.Sprintf("get %s\r\n", key)...)
+			}
+		}
+		s.Proto.Streams = append(s.Proto.Streams, b)
+	}
+	s.Proto.Crash = append(s.Proto.Crash, CrashPoint{Stream: 0, Cmd: cmdsPerStream / 2})
+	return s
+}
+
+// Rand exposes the generator's RNG for the protocol mutator.
+func (g *ProtoGen) Rand() *rand.Rand { return g.rng }

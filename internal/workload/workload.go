@@ -32,6 +32,11 @@ const (
 	OpDecr
 	// OpDelete removes a key.
 	OpDelete
+	// OpFlushAll drops (or, for log-structured targets, compacts away)
+	// every stored item — memcached's flush_all. Only the protocol
+	// generator emits it; the synthetic generator never does, because a
+	// store wipe destroys the shared-key pressure the fuzzer relies on.
+	OpFlushAll
 	// OpError is an unparseable command (only produced by Decode).
 	OpError
 )
@@ -39,7 +44,8 @@ const (
 var opNames = map[OpKind]string{
 	OpGet: "get", OpBGet: "bget", OpSet: "set", OpAdd: "add",
 	OpReplace: "replace", OpAppend: "append", OpPrepend: "prepend",
-	OpIncr: "incr", OpDecr: "decr", OpDelete: "delete", OpError: "error",
+	OpIncr: "incr", OpDecr: "decr", OpDelete: "delete",
+	OpFlushAll: "flush_all", OpError: "error",
 }
 
 // String returns the protocol verb.
@@ -62,7 +68,7 @@ func (k OpKind) Class() string {
 		return "incr"
 	case OpDecr:
 		return "decr"
-	case OpDelete:
+	case OpDelete, OpFlushAll:
 		return "delete"
 	default:
 		return "Error"
@@ -77,7 +83,7 @@ func Classes() []string {
 // Mutates reports whether the operation writes to the store.
 func (k OpKind) Mutates() bool {
 	switch k {
-	case OpSet, OpAdd, OpReplace, OpAppend, OpPrepend, OpIncr, OpDecr, OpDelete:
+	case OpSet, OpAdd, OpReplace, OpAppend, OpPrepend, OpIncr, OpDecr, OpDelete, OpFlushAll:
 		return true
 	}
 	return false
@@ -95,6 +101,8 @@ type Op struct {
 // String renders the op in the text protocol.
 func (o Op) String() string {
 	switch o.Kind {
+	case OpFlushAll:
+		return o.Kind.String()
 	case OpGet, OpBGet, OpDelete:
 		return fmt.Sprintf("%s %s", o.Kind, o.Key)
 	case OpIncr, OpDecr:
@@ -111,16 +119,43 @@ func (o Op) String() string {
 }
 
 // Seed is one fuzzer input: an operation sequence distributed over a number
-// of worker threads.
+// of worker threads, or — when Proto is set — recorded protocol byte streams
+// played through the wire front-end (one stream per connection).
 type Seed struct {
 	Ops     []Op
 	Threads int
+	// Proto, when non-nil, makes this a protocol-traffic seed; Ops is
+	// ignored by the executor in that case.
+	Proto *ProtoSeed
 }
 
 // Clone deep-copies the seed.
 func (s *Seed) Clone() *Seed {
 	c := &Seed{Ops: append([]Op(nil), s.Ops...), Threads: s.Threads}
+	if s.Proto != nil {
+		c.Proto = s.Proto.clone()
+	}
 	return c
+}
+
+// Empty reports whether the seed carries no work at all.
+func (s *Seed) Empty() bool {
+	if s == nil {
+		return true
+	}
+	if s.Proto != nil {
+		return len(s.Proto.Streams) == 0
+	}
+	return len(s.Ops) == 0
+}
+
+// Size is the seed's workload length for reporting: operations for op-vector
+// seeds, framed commands for protocol seeds.
+func (s *Seed) Size() int {
+	if s.Proto != nil {
+		return s.Proto.Commands()
+	}
+	return len(s.Ops)
 }
 
 // Split distributes the operations round-robin over the seed's threads,
@@ -137,8 +172,13 @@ func (s *Seed) Split() [][]Op {
 	return out
 }
 
-// Encode renders the seed as protocol text, one command per line.
+// Encode renders the seed as text: one command per line for op-vector seeds,
+// the #proto quoted-stream format for protocol seeds. Both forms round-trip
+// through Decode, corpus .seed files and artifact bundles.
 func (s *Seed) Encode() string {
+	if s.Proto != nil {
+		return s.encodeProto()
+	}
 	var b strings.Builder
 	for _, op := range s.Ops {
 		b.WriteString(op.String())
@@ -147,9 +187,13 @@ func (s *Seed) Encode() string {
 	return b.String()
 }
 
-// Decode parses protocol text into operations; unparseable lines become
-// OpError entries (counted in the "Error" class of Table 4).
+// Decode parses seed text. A leading "#proto" header selects the protocol
+// byte-stream format; otherwise each line is one command, and unparseable
+// lines become OpError entries (counted in the "Error" class of Table 4).
 func Decode(text string, threads int) *Seed {
+	if strings.HasPrefix(strings.TrimSpace(text), protoHeader) {
+		return decodeProto(text, threads)
+	}
 	s := &Seed{Threads: threads}
 	for _, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
@@ -172,6 +216,11 @@ func ParseOp(line string) Op {
 		return Op{Kind: OpError, Raw: line}
 	}
 	switch kind {
+	case OpFlushAll:
+		if len(fields) != 1 {
+			return Op{Kind: OpError, Raw: line}
+		}
+		return Op{Kind: OpFlushAll}
 	case OpGet, OpBGet, OpDelete:
 		if len(fields) != 2 || !validKey(fields[1]) {
 			return Op{Kind: OpError, Raw: line}

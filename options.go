@@ -80,6 +80,17 @@ func WithCorpusDir(dir string) CampaignOption {
 	return func(c *campaignConfig) { c.opts.CorpusDir = dir }
 }
 
+// WithProtocolTraffic switches the campaign's workload from synthetic
+// operation vectors to real memcached text-protocol byte streams: seeds are
+// per-connection byte streams (with pipelining, malformed frames and
+// mid-request crash points) parsed by the wire front-end, and the parsed
+// commands enter the target through the same dispatch as synthetic
+// operations, so bug fingerprints are shared between the two modes (see
+// DESIGN.md §16).
+func WithProtocolTraffic() CampaignOption {
+	return func(c *campaignConfig) { c.opts.Protocol = true }
+}
+
 // WithEADR models battery-backed caches (paper §6.6).
 func WithEADR() CampaignOption {
 	return func(c *campaignConfig) { c.opts.EADR = true }

@@ -91,6 +91,7 @@ import (
 	_ "github.com/pmrace-go/pmrace/internal/targets/memcached"
 	_ "github.com/pmrace-go/pmrace/internal/targets/pclht"
 	_ "github.com/pmrace-go/pmrace/internal/targets/pclhtgen"
+	_ "github.com/pmrace-go/pmrace/internal/targets/pmwal"
 )
 
 // Core fuzzing API.
